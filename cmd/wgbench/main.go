@@ -1,0 +1,110 @@
+// Command wgbench regenerates the WholeGraph paper's evaluation: every
+// table (I-V) and figure (7-13) of §IV, plus the shared-memory setup
+// microbenchmark, on the simulated DGX-A100.
+//
+// Usage:
+//
+//	wgbench -exp all                 # everything, default scale 1/1000
+//	wgbench -exp table5 -scale 0.002 # one experiment at a custom scale
+//	wgbench -exp fig8,fig10 -quick   # fast pass with reduced models
+//
+// Reported times are virtual seconds from the machine simulation; see
+// EXPERIMENTS.md for the paper-vs-measured comparison and the scaling
+// substitutions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wholegraph/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(bench.Config) error
+}{
+	{"table1", "UM vs GPUDirect P2P access latency", wrap(bench.Table1)},
+	{"table2", "evaluation datasets", wrap(bench.Table2)},
+	{"table3", "accuracy parity across frameworks", wrap(bench.Table3)},
+	{"table4", "memory usage for ogbn-papers100M", wrap(bench.Table4)},
+	{"table5", "epoch time and speedups", wrap(bench.Table5)},
+	{"fig7", "validation accuracy curves (DGL vs WholeGraph)", wrap(bench.Fig7)},
+	{"fig8", "random gather bandwidth vs segment size", wrap(bench.Fig8)},
+	{"fig9", "epoch time breakdown", wrap(bench.Fig9)},
+	{"fig10", "shared-memory vs NCCL-based gather", wrap(bench.Fig10)},
+	{"fig11", "native vs third-party GNN layers", wrap(bench.Fig11)},
+	{"fig12", "GPU utilization over time", wrap(bench.Fig12)},
+	{"fig13", "multi-node scaling", wrap(bench.Fig13)},
+	{"setup", "shared-memory setup cost", wrap(bench.Setup)},
+	{"abl-storage", "ablation: P2P vs UM vs pinned-host feature storage", wrap(bench.AblationStorage)},
+	{"abl-unique", "ablation: hash-table vs sort AppendUnique", wrap(bench.AblationUnique)},
+	{"abl-dedup", "ablation: gather with vs without deduplication", wrap(bench.AblationDedup)},
+	{"infer", "offline inference: sampled vs full-graph layer-wise", wrap(bench.Inference)},
+	{"abl-cache", "ablation: hot-node feature cache sizes", wrap(bench.AblationCache)},
+	{"abl-hw", "ablation: NVSwitch vs PCIe-only fabric", wrap(bench.AblationHardware)},
+	{"abl-part", "ablation: hash vs range vs community node placement", wrap(bench.AblationPartition)},
+	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
+	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
+}
+
+func wrap[T any](f func(bench.Config) (T, error)) func(bench.Config) error {
+	return func(cfg bench.Config) error {
+		_, err := f(cfg)
+		return err
+	}
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
+		scale  = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
+		quick  = flag.Bool("quick", false, "reduced model sizes and iteration counts")
+		epochs = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed, W: os.Stdout}
+	want := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		t0 := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "wgbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "wgbench: no experiment matched %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func names() string {
+	var n []string
+	for _, e := range experiments {
+		n = append(n, e.name)
+	}
+	return strings.Join(n, ", ")
+}

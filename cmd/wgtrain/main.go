@@ -1,0 +1,183 @@
+// Command wgtrain trains a GNN on a synthetic evaluation graph with the
+// WholeGraph pipeline or one of the host-memory baselines, printing
+// per-epoch virtual timings, phase breakdowns and accuracy.
+//
+// Usage:
+//
+//	wgtrain -dataset ogbn-products -scale 0.001 -model graphsage -epochs 10
+//	wgtrain -framework dgl -model gat -batch 64 -fanouts 5,5 -hidden 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wholegraph"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "ogbn-products", "dataset: ogbn-products, ogbn-papers100M, Friendster, UK_domain")
+		scale     = flag.Float64("scale", 1e-3, "dataset scale factor")
+		model     = flag.String("model", "graphsage", "model: gcn, graphsage, gat, gin")
+		framework = flag.String("framework", "wholegraph", "pipeline: wholegraph, dgl, pyg")
+		nodes     = flag.Int("nodes", 1, "simulated DGX-A100 nodes")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		batch     = flag.Int("batch", 64, "mini-batch size per GPU")
+		fanoutStr = flag.String("fanouts", "5,5", "per-layer sample counts")
+		hidden    = flag.Int("hidden", 32, "hidden size")
+		heads     = flag.Int("heads", 4, "GAT attention heads")
+		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
+		dropout   = flag.Float64("dropout", 0.3, "dropout probability")
+		seed      = flag.Int64("seed", 1, "random seed")
+		evalEvery = flag.Int("eval-every", 1, "epochs between validation runs (0 = never)")
+		loadPath  = flag.String("load", "", "load a dataset saved with wggen -save instead of generating")
+		weighted  = flag.Bool("weighted", false, "attach synthetic edge weights (weighted aggregation)")
+		traceOut  = flag.String("trace-out", "", "write worker 0's device timeline as a Chrome trace JSON")
+		fullInfer = flag.Bool("full-infer", false, "run full-graph layer-wise inference after training (WholeGraph only)")
+		saveModel = flag.String("save-model", "", "write the trained model's parameters to a checkpoint file")
+		loadModel = flag.String("load-model", "", "initialize the model from a checkpoint before training")
+	)
+	flag.Parse()
+
+	fanouts, err := parseFanouts(*fanoutStr)
+	if err != nil {
+		fatal(err)
+	}
+	var ds *wholegraph.Dataset
+	if *loadPath != "" {
+		fmt.Printf("loading dataset from %s...\n", *loadPath)
+		ds, err = wholegraph.LoadDataset(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec, ok := lookupSpec(*dsName)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q", *dsName))
+		}
+		spec = spec.Scaled(*scale)
+		spec.Weighted = *weighted
+		fmt.Printf("generating %s at scale %g...\n", *dsName, *scale)
+		ds, err = wholegraph.GenerateDataset(spec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("graph: %d nodes, %d stored edges, %d train / %d val / %d test\n",
+		ds.Graph.N, ds.Graph.NumEdges(), len(ds.Train), len(ds.Val), len(ds.Test))
+
+	machine := wholegraph.NewDGXA100(*nodes)
+	opts := wholegraph.TrainOptions{
+		Arch: *model, Batch: *batch, Fanouts: fanouts, Hidden: *hidden,
+		Heads: *heads, LR: *lr, Dropout: float32(*dropout), Seed: *seed,
+	}
+	opts.Trace = *traceOut != ""
+	var trainer *wholegraph.Trainer
+	switch strings.ToLower(*framework) {
+	case "wholegraph", "wg":
+		trainer, err = wholegraph.NewTrainer(machine, ds, opts)
+	case "dgl":
+		trainer, err = wholegraph.NewBaselineTrainer(machine, ds, opts, wholegraph.DGL)
+	case "pyg":
+		trainer, err = wholegraph.NewBaselineTrainer(machine, ds, opts, wholegraph.PyG)
+	default:
+		err = fmt.Errorf("unknown framework %q", *framework)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *loadModel != "" {
+		if err := trainer.Models[0].Params().LoadFile(*loadModel); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model initialized from %s\n", *loadModel)
+	}
+	fmt.Printf("store setup: %.1f ms (virtual)\n\n", machine.MaxTime()*1e3)
+	machine.Reset()
+
+	fmt.Printf("%5s %10s %10s %10s %10s %8s %8s %8s\n",
+		"epoch", "time", "sample", "gather", "train", "loss", "acc", "val")
+	for e := 1; e <= *epochs; e++ {
+		st := trainer.RunEpoch()
+		val := "-"
+		if *evalEvery > 0 && e%*evalEvery == 0 {
+			val = fmt.Sprintf("%.3f", trainer.Evaluate(ds.Val, 512))
+		}
+		fmt.Printf("%5d %10s %10s %10s %10s %8.3f %8.3f %8s\n",
+			st.Epoch, ms(st.EpochTime), ms(st.Timing.Sample), ms(st.Timing.Gather),
+			ms(st.Timing.Train), st.Loss, st.TrainAcc, val)
+	}
+	if len(ds.Test) > 0 {
+		fmt.Printf("\ntest accuracy: %.3f\n", trainer.Evaluate(ds.Test, 1024))
+	}
+	if *fullInfer {
+		if len(trainer.Stores) == 0 {
+			fatal(fmt.Errorf("-full-infer requires -framework wholegraph"))
+		}
+		lw, ok := trainer.Models[0].(wholegraph.LayerwiseModel)
+		if !ok {
+			fatal(fmt.Errorf("model does not support layer-wise inference"))
+		}
+		t0 := machine.MaxTime()
+		out, err := wholegraph.FullGraphInference(trainer.Stores[0], lw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("full-graph inference: %d nodes embedded in %s (virtual)\n",
+			out.R, ms(machine.MaxTime()-t0))
+	}
+	if *saveModel != "" {
+		if err := trainer.Models[0].Params().SaveFile(*saveModel); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model checkpoint written: %s\n", *saveModel)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wholegraph.WriteChromeTrace(f, machine.Devs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("device timeline written: %s (open in chrome://tracing)\n", *traceOut)
+	}
+}
+
+func lookupSpec(name string) (wholegraph.DatasetSpec, bool) {
+	for _, s := range []wholegraph.DatasetSpec{
+		wholegraph.OgbnProducts, wholegraph.OgbnPapers100M,
+		wholegraph.Friendster, wholegraph.UKDomain,
+	} {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return wholegraph.DatasetSpec{}, false
+}
+
+func parseFanouts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad fanout %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func ms(s float64) string { return fmt.Sprintf("%.2fms", s*1e3) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wgtrain:", err)
+	os.Exit(1)
+}

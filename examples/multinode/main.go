@@ -1,0 +1,50 @@
+// Multi-node scaling (paper §III-D, Figure 13): every machine node holds a
+// full replica of the graph in its GPUs' shared memory, training nodes are
+// sharded over all workers, and gradients synchronize through a
+// hierarchical NVLink + InfiniBand AllReduce. Epoch time should fall
+// near-linearly with the node count.
+//
+//	go run ./examples/multinode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wholegraph"
+)
+
+func main() {
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnPapers100M.Scaled(0.001))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ogbn-papers100M (scaled): %d papers, %d citation edges, %d training nodes\n\n",
+		ds.Graph.N, ds.NumEdgePairs(), len(ds.Train))
+
+	fmt.Printf("%6s %14s %10s %12s\n", "nodes", "epoch (ms)", "speedup", "efficiency")
+	var base float64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		machine := wholegraph.NewDGXA100(nodes)
+		trainer, err := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+			Arch:    "graphsage",
+			Batch:   8, // small batches => many iterations, as at paper scale
+			Fanouts: []int{5, 5, 5},
+			Hidden:  32,
+			// Measure a few iterations and extrapolate the full epoch.
+			MaxItersPerEpoch: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine.Reset()
+		st := trainer.RunEpoch()
+		if nodes == 1 {
+			base = st.EpochTime
+		}
+		speedup := base / st.EpochTime
+		fmt.Printf("%6d %14.2f %9.2fx %11.0f%%\n",
+			nodes, st.EpochTime*1e3, speedup, 100*speedup/float64(nodes))
+	}
+	fmt.Println("\none graph replica per node; only the gradient AllReduce crosses InfiniBand")
+}

@@ -1,0 +1,3 @@
+module wholegraph
+
+go 1.22

@@ -1,0 +1,193 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"wholegraph/internal/core"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Machine, *core.Store) {
+	t.Helper()
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds, err := dataset.Generate(dataset.OgbnProducts.Scaled(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewStore(m, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	return m, s
+}
+
+// hostPageRank is the single-threaded reference implementation.
+func hostPageRank(g *graph.CSR, d, tol float64, maxIter int) []float64 {
+	n := g.N
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for it := 0; it < maxIter; it++ {
+		var dangling float64
+		for v := int64(0); v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += cur[v]
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		var delta float64
+		for v := int64(0); v < n; v++ {
+			var sum float64
+			for _, w := range g.Neighbors(v) {
+				if deg := g.Degree(w); deg > 0 {
+					sum += cur[w] / float64(deg)
+				}
+			}
+			next[v] = base + d*sum
+			delta += math.Abs(next[v] - cur[v])
+		}
+		cur, next = next, cur
+		if delta < tol {
+			break
+		}
+	}
+	return cur
+}
+
+func TestPageRankMatchesHostReference(t *testing.T) {
+	m, s := setup(t)
+	res, err := PageRank(s.PG, 0.85, 1e-9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hostPageRank(s.DS.Graph, 0.85, 1e-9, 50)
+	var sum float64
+	for v := range res.Rank {
+		sum += res.Rank[v]
+		// float32 shared state vs float64 reference: allow small error.
+		if math.Abs(res.Rank[v]-want[v]) > 1e-4*math.Max(1e-3, want[v]) {
+			t.Fatalf("rank[%d] = %g, reference %g", v, res.Rank[v], want[v])
+		}
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("ranks sum to %g, want 1", sum)
+	}
+	if res.Iterations == 0 || res.Time <= 0 {
+		t.Errorf("stats missing: %+v iterations/time", res)
+	}
+	if m.MaxTime() == 0 {
+		t.Error("pagerank charged nothing")
+	}
+}
+
+func TestPageRankHubsRankHigher(t *testing.T) {
+	_, s := setup(t)
+	res, err := PageRank(s.PG, 0.85, 1e-8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.DS.Graph
+	// The highest-degree node should outrank the median-degree node.
+	var hub, lo int64
+	for v := int64(0); v < g.N; v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+		if g.Degree(v) == 1 {
+			lo = v
+		}
+	}
+	if res.Rank[hub] <= res.Rank[lo] {
+		t.Errorf("hub (deg %d, rank %g) should outrank leaf (deg %d, rank %g)",
+			g.Degree(hub), res.Rank[hub], g.Degree(lo), res.Rank[lo])
+	}
+}
+
+func TestPageRankRejectsBadDamping(t *testing.T) {
+	_, s := setup(t)
+	if _, err := PageRank(s.PG, 1.5, 1e-6, 10); err == nil {
+		t.Error("damping 1.5 accepted")
+	}
+	if _, err := PageRank(s.PG, 0, 1e-6, 10); err == nil {
+		t.Error("damping 0 accepted")
+	}
+}
+
+// hostComponents is a union-find reference.
+func hostComponents(g *graph.CSR) []int64 {
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := int64(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			a, b := find(v), find(w)
+			if a < b {
+				parent[b] = a
+			} else if b < a {
+				parent[a] = b
+			}
+		}
+	}
+	out := make([]int64, g.N)
+	for v := int64(0); v < g.N; v++ {
+		out[v] = find(v)
+	}
+	return out
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	m, s := setup(t)
+	res, err := ConnectedComponents(s.PG, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hostComponents(s.DS.Graph)
+	distinct := map[int64]bool{}
+	for v := range res.Label {
+		if res.Label[v] != want[v] {
+			t.Fatalf("label[%d] = %d, reference %d", v, res.Label[v], want[v])
+		}
+		distinct[res.Label[v]] = true
+	}
+	if res.Components != len(distinct) {
+		t.Errorf("component count %d != distinct labels %d", res.Components, len(distinct))
+	}
+	if res.Iterations == 0 || res.Time <= 0 {
+		t.Errorf("stats missing: %+v", res)
+	}
+	if m.MaxTime() == 0 {
+		t.Error("cc charged nothing")
+	}
+}
+
+func TestConnectedComponentsConverges(t *testing.T) {
+	_, s := setup(t)
+	a, err := ConnectedComponents(s.PG, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConnectedComponents(s.PG, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Label {
+		if a.Label[v] != b.Label[v] {
+			t.Fatal("label propagation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over dense float32 matrices. It is the stand-in for the
+// PyTorch autograd engine the real WholeGraph builds on (paper §III-A):
+// layers record operations on a tape during the forward pass and Backward
+// replays them in reverse, accumulating gradients.
+//
+// The package is deliberately minimal and extensible: graph-specific sparse
+// operations (g-SpMM, g-SDDMM, segment softmax) register themselves through
+// Tape.Op with custom backward closures, exactly as custom CUDA ops plug
+// into torch.autograd.Function.
+package autograd
+
+import (
+	"fmt"
+
+	"wholegraph/internal/tensor"
+)
+
+// Var is a node in the computation graph: a value and, after Backward, its
+// gradient.
+type Var struct {
+	Value *tensor.Dense
+	// Grad is allocated lazily on first accumulation; nil means "no
+	// gradient flowed here" (or a constant).
+	Grad *tensor.Dense
+
+	tape     *Tape
+	needGrad bool
+	inputs   []*Var
+	// back propagates v.Grad into the inputs' Grad fields.
+	back func(v *Var)
+}
+
+// NeedsGrad reports whether gradients flow to this variable.
+func (v *Var) NeedsGrad() bool { return v.needGrad }
+
+// Tape returns the tape this variable was recorded on; custom operations
+// defined outside this package (e.g. the sparse ops in internal/spops) use
+// it to register themselves via Tape.Op.
+func (v *Var) Tape() *Tape { return v.tape }
+
+// AccumGrad adds g into v's gradient, allocating it on first use. It is a
+// no-op for variables that do not need gradients.
+func (v *Var) AccumGrad(g *tensor.Dense) {
+	if !v.needGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.R, v.Value.C)
+	}
+	tensor.AccumInto(v.Grad, g)
+}
+
+// Tape records operations in execution order for reverse-mode replay.
+type Tape struct {
+	nodes []*Var
+}
+
+// NewTape returns an empty tape. A fresh tape is typically created per
+// training iteration.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded non-leaf operations.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Param wraps a trainable parameter (gradients accumulate into it).
+func (t *Tape) Param(v *tensor.Dense) *Var {
+	return &Var{Value: v, tape: t, needGrad: true}
+}
+
+// Const wraps a constant input (no gradient).
+func (t *Tape) Const(v *tensor.Dense) *Var {
+	return &Var{Value: v, tape: t, needGrad: false}
+}
+
+// Op records a custom operation producing out from inputs, with back
+// propagating the output gradient into the inputs (via AccumGrad). The
+// returned Var needs a gradient iff any input does.
+func (t *Tape) Op(out *tensor.Dense, inputs []*Var, back func(v *Var)) *Var {
+	need := false
+	for _, in := range inputs {
+		if in.tape != t {
+			panic("autograd: input from a different tape")
+		}
+		if in.needGrad {
+			need = true
+		}
+	}
+	v := &Var{Value: out, tape: t, needGrad: need, inputs: inputs, back: back}
+	if need {
+		t.nodes = append(t.nodes, v)
+	}
+	return v
+}
+
+// Backward seeds loss.Grad with seed (same shape as loss.Value) and runs the
+// tape in reverse, accumulating gradients into all parameters.
+func (t *Tape) Backward(loss *Var, seed *tensor.Dense) {
+	if loss.tape != t {
+		panic("autograd: loss from a different tape")
+	}
+	if !loss.Value.SameShape(seed) {
+		panic(fmt.Sprintf("autograd: seed shape %dx%d for loss %dx%d",
+			seed.R, seed.C, loss.Value.R, loss.Value.C))
+	}
+	loss.AccumGrad(seed)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		v := t.nodes[i]
+		if v.Grad == nil || v.back == nil {
+			continue // no gradient reached this node
+		}
+		v.back(v)
+	}
+}
+
+// --- Built-in operations ---
+
+// MatMul returns x*w with gradients to both inputs.
+func MatMul(x, w *Var) *Var {
+	out := tensor.MatMul(x.Value, w.Value)
+	return x.tape.Op(out, []*Var{x, w}, func(v *Var) {
+		if x.needGrad {
+			gx := tensor.New(x.Value.R, x.Value.C)
+			tensor.MatMulTInto(gx, v.Grad, w.Value) // dX = dY * Wᵀ
+			x.AccumGrad(gx)
+		}
+		if w.needGrad {
+			gw := tensor.New(w.Value.R, w.Value.C)
+			tensor.TMatMulInto(gw, x.Value, v.Grad) // dW = Xᵀ * dY
+			w.AccumGrad(gw)
+		}
+	})
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Var) *Var {
+	out := tensor.New(a.Value.R, a.Value.C)
+	tensor.AddInto(out, a.Value, b.Value)
+	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
+		a.AccumGrad(v.Grad)
+		b.AccumGrad(v.Grad)
+	})
+}
+
+// AddBias returns x with the (1 x C) bias row added to every row.
+func AddBias(x, b *Var) *Var {
+	out := tensor.New(x.Value.R, x.Value.C)
+	tensor.AddRowInto(out, x.Value, b.Value)
+	return x.tape.Op(out, []*Var{x, b}, func(v *Var) {
+		x.AccumGrad(v.Grad)
+		if b.needGrad {
+			gb := tensor.New(1, b.Value.C)
+			tensor.ColSumInto(gb, v.Grad)
+			b.AccumGrad(gb)
+		}
+	})
+}
+
+// ReLU returns max(x, 0).
+func ReLU(x *Var) *Var {
+	out := tensor.New(x.Value.R, x.Value.C)
+	tensor.ReLUInto(out, x.Value)
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		tensor.ReLUGradInto(gx, x.Value, v.Grad)
+		x.AccumGrad(gx)
+	})
+}
+
+// Scale returns s*x.
+func Scale(x *Var, s float32) *Var {
+	out := tensor.New(x.Value.R, x.Value.C)
+	tensor.ScaleInto(out, x.Value, s)
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		tensor.ScaleInto(gx, v.Grad, s)
+		x.AccumGrad(gx)
+	})
+}
+
+// Dropout zeroes entries with probability p (rnd yields uniforms in [0,1)),
+// scaling survivors by 1/(1-p). With p <= 0 it is the identity.
+func Dropout(x *Var, p float32, rnd func() float32) *Var {
+	out := tensor.New(x.Value.R, x.Value.C)
+	mask := tensor.New(x.Value.R, x.Value.C)
+	tensor.DropoutInto(out, x.Value, mask, p, rnd)
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		tensor.MulInto(gx, v.Grad, mask)
+		x.AccumGrad(gx)
+	})
+}
+
+// Rows returns the sub-matrix of the first n rows of x (a view for the
+// forward value; the backward scatters the gradient into the top rows).
+// GNN layers use it to slice target-node rows off a gathered feature block.
+func Rows(x *Var, n int) *Var {
+	if n > x.Value.R {
+		panic(fmt.Sprintf("autograd: Rows(%d) of %d-row matrix", n, x.Value.R))
+	}
+	out := tensor.FromSlice(n, x.Value.C, x.Value.V[:n*x.Value.C])
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		copy(gx.V[:n*x.Value.C], v.Grad.V)
+		x.AccumGrad(gx)
+	})
+}
+
+// ConcatCols returns [a | b] column-wise.
+func ConcatCols(a, b *Var) *Var {
+	if a.Value.R != b.Value.R {
+		panic("autograd: ConcatCols row mismatch")
+	}
+	ca, cb := a.Value.C, b.Value.C
+	out := tensor.New(a.Value.R, ca+cb)
+	for i := 0; i < a.Value.R; i++ {
+		copy(out.Row(i)[:ca], a.Value.Row(i))
+		copy(out.Row(i)[ca:], b.Value.Row(i))
+	}
+	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
+		if a.needGrad {
+			ga := tensor.New(a.Value.R, ca)
+			for i := 0; i < a.Value.R; i++ {
+				copy(ga.Row(i), v.Grad.Row(i)[:ca])
+			}
+			a.AccumGrad(ga)
+		}
+		if b.needGrad {
+			gb := tensor.New(b.Value.R, cb)
+			for i := 0; i < b.Value.R; i++ {
+				copy(gb.Row(i), v.Grad.Row(i)[ca:])
+			}
+			b.AccumGrad(gb)
+		}
+	})
+}
+
+// GatherRows returns the rows of x selected by idx (duplicates allowed);
+// the backward pass scatter-adds the output gradient back into the source
+// rows. Link-prediction heads use it to pull endpoint embeddings out of an
+// encoder's output block.
+func GatherRows(x *Var, idx []int) *Var {
+	out := tensor.New(len(idx), x.Value.C)
+	for i, r := range idx {
+		copy(out.Row(i), x.Value.Row(r))
+	}
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		for i, r := range idx {
+			dst := gx.Row(r)
+			src := v.Grad.Row(i)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+		x.AccumGrad(gx)
+	})
+}
+
+// RowDot returns the row-wise dot products of a and b as an [n x 1] column.
+func RowDot(a, b *Var) *Var {
+	if !a.Value.SameShape(b.Value) {
+		panic("autograd: RowDot shape mismatch")
+	}
+	out := tensor.New(a.Value.R, 1)
+	for i := 0; i < a.Value.R; i++ {
+		var s float32
+		ar, br := a.Value.Row(i), b.Value.Row(i)
+		for j := range ar {
+			s += ar[j] * br[j]
+		}
+		out.V[i] = s
+	}
+	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
+		if a.needGrad {
+			ga := tensor.New(a.Value.R, a.Value.C)
+			for i := 0; i < a.Value.R; i++ {
+				g := v.Grad.V[i]
+				br, gr := b.Value.Row(i), ga.Row(i)
+				for j := range gr {
+					gr[j] = g * br[j]
+				}
+			}
+			a.AccumGrad(ga)
+		}
+		if b.needGrad {
+			gb := tensor.New(b.Value.R, b.Value.C)
+			for i := 0; i < b.Value.R; i++ {
+				g := v.Grad.V[i]
+				ar, gr := a.Value.Row(i), gb.Row(i)
+				for j := range gr {
+					gr[j] = g * ar[j]
+				}
+			}
+			b.AccumGrad(gb)
+		}
+	})
+}
+
+// ScaleByScalarPlusOne returns (1 + s) * x where s is a learnable [1 x 1]
+// scalar (the eps of a GIN layer). Gradients flow to both inputs:
+// dx = (1+s)·dy and ds = sum(x ⊙ dy).
+func ScaleByScalarPlusOne(x, s *Var) *Var {
+	if s.Value.R != 1 || s.Value.C != 1 {
+		panic("autograd: scalar must be 1x1")
+	}
+	factor := 1 + s.Value.V[0]
+	out := tensor.New(x.Value.R, x.Value.C)
+	tensor.ScaleInto(out, x.Value, factor)
+	return x.tape.Op(out, []*Var{x, s}, func(v *Var) {
+		if x.needGrad {
+			gx := tensor.New(x.Value.R, x.Value.C)
+			tensor.ScaleInto(gx, v.Grad, factor)
+			x.AccumGrad(gx)
+		}
+		if s.needGrad {
+			var dot float64
+			for i, g := range v.Grad.V {
+				dot += float64(g) * float64(x.Value.V[i])
+			}
+			gs := tensor.New(1, 1)
+			gs.V[0] = float32(dot)
+			s.AccumGrad(gs)
+		}
+	})
+}
+
+// SegmentMeanRows mean-pools consecutive row segments of x: segment g is
+// rows [offsets[g], offsets[g+1]), and output row g is their mean. It is
+// the readout of graph classification (pooling each small graph's node
+// embeddings into one vector). Empty segments produce zero rows.
+func SegmentMeanRows(x *Var, offsets []int) *Var {
+	nSeg := len(offsets) - 1
+	if nSeg < 0 || offsets[nSeg] > x.Value.R {
+		panic("autograd: bad segment offsets")
+	}
+	out := tensor.New(nSeg, x.Value.C)
+	for g := 0; g < nSeg; g++ {
+		lo, hi := offsets[g], offsets[g+1]
+		if hi <= lo {
+			continue
+		}
+		or := out.Row(g)
+		for r := lo; r < hi; r++ {
+			for j, v := range x.Value.Row(r) {
+				or[j] += v
+			}
+		}
+		inv := 1 / float32(hi-lo)
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+	return x.tape.Op(out, []*Var{x}, func(v *Var) {
+		gx := tensor.New(x.Value.R, x.Value.C)
+		for g := 0; g < nSeg; g++ {
+			lo, hi := offsets[g], offsets[g+1]
+			if hi <= lo {
+				continue
+			}
+			inv := 1 / float32(hi-lo)
+			gr := v.Grad.Row(g)
+			for r := lo; r < hi; r++ {
+				dst := gx.Row(r)
+				for j, gv := range gr {
+					dst[j] += gv * inv
+				}
+			}
+		}
+		x.AccumGrad(gx)
+	})
+}

@@ -1,0 +1,143 @@
+package cache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wholegraph/internal/cache"
+	"wholegraph/internal/core"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Machine, *core.Store) {
+	t.Helper()
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds, err := dataset.Generate(dataset.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewStore(m, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	return m, s
+}
+
+func TestCacheReturnsCorrectData(t *testing.T) {
+	m, s := setup(t)
+	c, err := cache.NewDegreeCache(s.PG, m.Devs[0], 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() == 0 || c.Size() > 200 {
+		t.Fatalf("cache size %d", c.Size())
+	}
+	dim := s.PG.Dim
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int64, 300)
+	for i := range rows {
+		v := rng.Int63n(s.DS.Graph.N)
+		rows[i] = s.PG.FeatRow(s.PG.Owner[v])
+	}
+	viaCache := make([]float32, len(rows)*dim)
+	direct := make([]float32, len(rows)*dim)
+	c.GatherRows(rows, dim, viaCache, "c")
+	s.PG.Feat.GatherRows(m.Devs[0], rows, dim, direct, "d")
+	for i := range direct {
+		if viaCache[i] != direct[i] {
+			t.Fatalf("cache corrupted data at %d", i)
+		}
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Errorf("expected both hits and misses: %d/%d", c.Hits, c.Misses)
+	}
+	if c.MemoryBytes() != int64(c.Size()*dim*4) {
+		t.Error("memory accounting wrong")
+	}
+}
+
+func TestCacheSkipsLocalRows(t *testing.T) {
+	m, s := setup(t)
+	dev := m.Devs[2]
+	c, err := cache.NewDegreeCache(s.PG, dev, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := s.PG.Comm.RankOfDevice(dev)
+	dim := int64(s.PG.Dim)
+	for row := int64(0); row < s.PG.Feat.Len()/dim; row++ {
+		if c.Contains(row) && s.PG.Feat.RankOf(row*dim) == rank {
+			t.Fatalf("cached a local row %d", row)
+		}
+	}
+}
+
+func TestCacheReducesGatherTime(t *testing.T) {
+	m, s := setup(t)
+	// Cache a third of the graph's nodes (the hottest ones).
+	c, err := cache.NewDegreeCache(s.PG, m.Devs[0], int(s.DS.Graph.N/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sampling-shaped workload: rows drawn proportional to degree, which
+	// is what neighbor sampling produces. Draw endpoints of random edges.
+	g := s.DS.Graph
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]int64, 4096)
+	for i := range rows {
+		e := rng.Int63n(g.NumEdges())
+		v := g.Col[e]
+		rows[i] = s.PG.FeatRow(s.PG.Owner[v])
+	}
+	dim := s.PG.Dim
+	m.Reset()
+	tCached := c.GatherRows(rows, dim, make([]float32, len(rows)*dim), "c")
+	m.Reset()
+	tDirect := s.PG.Feat.GatherRows(m.Devs[0], rows, dim, make([]float32, len(rows)*dim), "d")
+	if tCached >= tDirect {
+		t.Errorf("cached gather (%g) not faster than direct (%g), hit rate %.2f",
+			tCached, tDirect, c.HitRate())
+	}
+	if c.HitRate() < 0.5 {
+		t.Errorf("degree cache hit rate %.2f too low for a degree-weighted workload", c.HitRate())
+	}
+}
+
+func TestCacheErrors(t *testing.T) {
+	m, s := setup(t)
+	s2 := *s
+	pg := *s.PG
+	pg.Feat = nil
+	s2.PG = &pg
+	if _, err := cache.NewDegreeCache(s2.PG, m.Devs[0], 10); err == nil {
+		t.Error("featureless graph accepted")
+	}
+	m2 := sim.NewMachine(sim.DGXA100(2))
+	if _, err := cache.NewDegreeCache(s.PG, m2.NodeDevs(1)[0], 10); err == nil {
+		t.Error("foreign device accepted")
+	}
+}
+
+func TestCachePanicsOnBadArgs(t *testing.T) {
+	m, s := setup(t)
+	c, err := cache.NewDegreeCache(s.PG, m.Devs[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanic(t, func() { c.GatherRows([]int64{0}, 7, make([]float32, 7), "x") })
+	assertPanic(t, func() { c.GatherRows([]int64{0, 1}, s.PG.Dim, make([]float32, 1), "x") })
+	_ = graph.GlobalID(0)
+}
+
+func assertPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,215 @@
+// Package core assembles the paper's primary contribution: the WholeGraph
+// graph store (structure + features partitioned over the GPUs of one node
+// in distributed shared memory, §III-B) and the GPU-resident mini-batch
+// loader that chains the multi-GPU sampling op, the AppendUnique op and the
+// global feature gather op (§III-C) into message-flow-graph batches ready
+// for GNN training.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wholegraph/internal/cache"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/gnn"
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sampling"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+	"wholegraph/internal/unique"
+	"wholegraph/internal/wholemem"
+)
+
+// Store is a dataset resident in the multi-GPU distributed shared memory of
+// one machine node: every GPU holds a hash partition of the nodes, their
+// outgoing edges and their feature rows, and can read all other partitions
+// through peer access.
+type Store struct {
+	Machine *sim.Machine
+	Node    int
+	Comm    *wholemem.Comm
+	DS      *dataset.Dataset
+	PG      *graph.Partitioned
+}
+
+// NewStore partitions ds across the GPUs of machine node `node`, charging
+// the allocation and IPC-setup cost (§III-B: tens to ~200 ms, once per
+// training run).
+func NewStore(m *sim.Machine, node int, ds *dataset.Dataset) (*Store, error) {
+	comm, err := wholemem.NewComm(m.NodeDevs(node))
+	if err != nil {
+		return nil, err
+	}
+	pg, err := graph.Partition(ds.Graph, ds.Feat, ds.Spec.FeatDim, comm)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s: %w", ds.Spec.Name, err)
+	}
+	if ds.Spec.Weighted {
+		pg.AttachEdgeWeights(graph.HashEdgeWeight)
+	}
+	return &Store{Machine: m, Node: node, Comm: comm, DS: ds, PG: pg}, nil
+}
+
+// SetupTime returns the virtual time the store construction took (the
+// maximum device clock right after NewStore on a fresh machine).
+func (s *Store) SetupTime() float64 { return s.Machine.MaxTime() }
+
+// NewStoreWithFeatureKind is NewStore with the node-feature table backed by
+// the given memory kind (DeviceP2P, DeviceUM or PinnedHost). It exists for
+// the storage ablation: the paper's design choice of GPUDirect peer access
+// is evaluated against the Unified Memory and host-memory alternatives it
+// rejects (§II-B, Table I).
+func NewStoreWithFeatureKind(m *sim.Machine, node int, ds *dataset.Dataset, kind wholemem.Kind) (*Store, error) {
+	s, err := NewStore(m, node, ds)
+	if err != nil {
+		return nil, err
+	}
+	if s.PG.Feat != nil {
+		s.PG.Feat.WithKind(kind)
+	}
+	return s, nil
+}
+
+// Loader builds training batches for one device. One loader per training
+// process, as in the paper's one-process-per-GPU layout.
+type Loader struct {
+	Store   *Store
+	Dev     *sim.Device
+	Fanouts []int
+	sampler *sampling.GPUSampler
+	cache   *cache.FeatureCache
+	rng     *rand.Rand
+}
+
+// NewLoader creates a loader on dev sampling with the given per-layer
+// fanouts (paper: 30,30,30).
+func NewLoader(s *Store, dev *sim.Device, fanouts []int, seed int64) *Loader {
+	return &Loader{
+		Store:   s,
+		Dev:     dev,
+		Fanouts: fanouts,
+		sampler: sampling.NewGPUSampler(s.PG, dev, seed),
+		rng:     rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+}
+
+// Device returns the GPU this loader samples and trains on.
+func (l *Loader) Device() *sim.Device { return l.Dev }
+
+// WithCache routes the loader's feature gathers through a hot-node cache
+// (see internal/cache); the cache must belong to the same device.
+func (l *Loader) WithCache(c *cache.FeatureCache) *Loader {
+	if c != nil && c.Dev != l.Dev {
+		panic("core: cache bound to a different device")
+	}
+	l.cache = c
+	return l
+}
+
+// Timing is the per-phase virtual-time breakdown of Figure 9: how long the
+// device spent sampling (including AppendUnique), gathering features, and
+// training.
+type Timing struct {
+	Sample float64
+	Gather float64
+	Train  float64
+}
+
+// Total returns the summed phase time.
+func (t Timing) Total() float64 { return t.Sample + t.Gather + t.Train }
+
+// Add accumulates another timing.
+func (t *Timing) Add(o Timing) {
+	t.Sample += o.Sample
+	t.Gather += o.Gather
+	t.Train += o.Train
+}
+
+// BuildBatch samples the multi-layer neighborhood of the given target nodes
+// (original IDs), deduplicates each hop with AppendUnique, gathers the
+// input features with the single-kernel global gather, and returns the
+// batch plus the sample/gather timing split.
+func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
+	var tm Timing
+	pg := l.Store.PG
+
+	cur := make([]graph.GlobalID, len(targets))
+	for i, v := range targets {
+		cur[i] = pg.Owner[v]
+	}
+
+	t0 := l.Dev.Now()
+	blocks := make([]*spops.SubCSR, len(l.Fanouts))
+	for hop, fan := range l.Fanouts {
+		nb := l.sampler.SampleLayer(cur, fan)
+		uq := unique.AppendUnique(l.Dev, cur, nb.Neighbors)
+		blk := &spops.SubCSR{
+			NumTargets: len(cur),
+			NumNodes:   len(uq.Unique),
+			RowPtr:     nb.Offsets,
+			Col:        uq.NeighborSubID,
+			DupCount:   uq.DupCount,
+		}
+		if pg.EdgeW != nil {
+			// Gather the sampled edges' weights: single-element (4-byte)
+			// accesses, the worst point of the Figure 8 curve.
+			blk.EdgeW = make([]float32, len(nb.EdgePos))
+			pg.EdgeW.GatherElems(l.Dev, nb.EdgePos, blk.EdgeW, "gather.edgew")
+		}
+		// The first sampled hop feeds the last GNN layer.
+		blocks[len(l.Fanouts)-1-hop] = blk
+		cur = uq.Unique
+	}
+	tm.Sample = l.Dev.Now() - t0
+
+	// Global gather: one kernel reading every input node's feature row
+	// from whichever GPU owns it.
+	dim := pg.Dim
+	rows := make([]int64, len(cur))
+	for i, gid := range cur {
+		rows[i] = pg.FeatRow(gid)
+	}
+	feat := tensor.New(len(cur), dim)
+	t1 := l.Dev.Now()
+	if l.cache != nil {
+		l.cache.GatherRows(rows, dim, feat.V, "gather.feat")
+	} else {
+		pg.Feat.GatherRows(l.Dev, rows, dim, feat.V, "gather.feat")
+	}
+	tm.Gather = l.Dev.Now() - t1
+
+	labels := make([]int32, len(targets))
+	for i, v := range targets {
+		labels[i] = l.Store.DS.Labels[v]
+	}
+	return &gnn.Batch{Blocks: blocks, Feat: feat, Labels: labels}, tm
+}
+
+// EpochBatches partitions the training set into shuffled mini-batches for
+// one epoch. Every call reshuffles.
+func EpochBatches(train []int64, batchSize int, rng *rand.Rand) [][]int64 {
+	ids := append([]int64(nil), train...)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	var out [][]int64
+	for len(ids) > 0 {
+		n := batchSize
+		if n > len(ids) {
+			n = len(ids)
+		}
+		out = append(out, ids[:n])
+		ids = ids[n:]
+	}
+	return out
+}
+
+// ShardTraining splits the training IDs across nGPUs workers round-robin,
+// the data-parallel partition of §III-D.
+func ShardTraining(train []int64, nWorkers int) [][]int64 {
+	out := make([][]int64, nWorkers)
+	for i, v := range train {
+		out[i%nWorkers] = append(out[i%nWorkers], v)
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package dataset generates the synthetic stand-ins for the four graphs the
+// paper evaluates on (Table II): ogbn-products, ogbn-papers100M, Friendster
+// and UK_domain. The real datasets are not redistributable/downloadable in
+// this offline environment (papers100M alone is >50 GB of features), so we
+// generate power-law graphs that preserve what drives the paper's
+// measurements — node count, edge count, feature dimension, label ratio and
+// a heavy-tailed degree distribution — at a configurable scale factor.
+//
+// Features are label-correlated (class centroid plus Gaussian noise) and
+// edges are homophilous (neighbors tend to share classes), so GNN training
+// genuinely learns and the accuracy experiments (Figure 7, Table III) are
+// meaningful rather than decorative.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wholegraph/internal/graph"
+)
+
+// Spec describes a dataset to generate.
+type Spec struct {
+	Name string
+	// Nodes and Edges are the target sizes; Edges counts edge pairs before
+	// any undirected doubling (the counts reported in Table II).
+	Nodes int64
+	Edges int64
+	// FeatDim is the node feature dimension, NumClasses the label count.
+	FeatDim    int
+	NumClasses int
+	// LabelRatio is the fraction of nodes that carry labels; labeled nodes
+	// are split TrainFrac/ValFrac/TestFrac (the paper uses 1% labels split
+	// 80/10/10 for Friendster and UK_domain).
+	LabelRatio         float64
+	TrainFrac, ValFrac float64
+	// Undirected stores each edge in both directions, as the paper does
+	// for ogbn-papers100M.
+	Undirected bool
+	// ZipfS shapes the degree power law (>1; larger = lighter tail).
+	ZipfS float64
+	// Homophily is the probability an edge endpoint is drawn from the
+	// source's own class, giving GNNs signal to learn from.
+	Homophily float64
+	// NoiseSigma scales the Gaussian feature noise around class centroids.
+	NoiseSigma float64
+	// Weighted attaches synthetic edge weights (graph.HashEdgeWeight) to
+	// the stored edges, exercising the paper's edge-feature path e_{s,t}.
+	Weighted bool
+	Seed     int64
+}
+
+// Validate reports whether the spec can be generated.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes <= 0:
+		return fmt.Errorf("dataset %s: Nodes must be positive", s.Name)
+	case s.Edges < 0:
+		return fmt.Errorf("dataset %s: Edges must be non-negative", s.Name)
+	case s.FeatDim <= 0:
+		return fmt.Errorf("dataset %s: FeatDim must be positive", s.Name)
+	case s.NumClasses < 2:
+		return fmt.Errorf("dataset %s: NumClasses must be >= 2", s.Name)
+	case s.LabelRatio <= 0 || s.LabelRatio > 1:
+		return fmt.Errorf("dataset %s: LabelRatio must be in (0,1]", s.Name)
+	case s.TrainFrac < 0 || s.ValFrac < 0 || s.TrainFrac+s.ValFrac > 1:
+		return fmt.Errorf("dataset %s: bad train/val split", s.Name)
+	case s.ZipfS <= 1:
+		return fmt.Errorf("dataset %s: ZipfS must be > 1", s.Name)
+	case s.Homophily < 0 || s.Homophily > 1:
+		return fmt.Errorf("dataset %s: Homophily must be in [0,1]", s.Name)
+	}
+	return nil
+}
+
+// Scaled returns the spec with node and edge counts multiplied by f,
+// keeping the average degree. The name records the scale.
+func (s Spec) Scaled(f float64) Spec {
+	if f == 1 {
+		return s
+	}
+	s.Name = fmt.Sprintf("%s@%g", s.Name, f)
+	s.Nodes = int64(math.Max(64, float64(s.Nodes)*f))
+	s.Edges = int64(math.Max(128, float64(s.Edges)*f))
+	return s
+}
+
+// Specs for the four evaluation graphs of Table II at full size.
+var (
+	OgbnProducts = Spec{
+		Name: "ogbn-products", Nodes: 2_400_000, Edges: 61_900_000,
+		FeatDim: 100, NumClasses: 47, LabelRatio: 0.10,
+		TrainFrac: 0.8, ValFrac: 0.1, Undirected: true,
+		ZipfS: 1.35, Homophily: 0.6, NoiseSigma: 1.0, Seed: 11,
+	}
+	OgbnPapers100M = Spec{
+		Name: "ogbn-papers100M", Nodes: 111_100_000, Edges: 1_600_000_000,
+		FeatDim: 128, NumClasses: 172, LabelRatio: 0.011,
+		TrainFrac: 0.8, ValFrac: 0.1, Undirected: true,
+		ZipfS: 1.3, Homophily: 0.55, NoiseSigma: 1.2, Seed: 12,
+	}
+	Friendster = Spec{
+		Name: "Friendster", Nodes: 68_300_000, Edges: 2_600_000_000,
+		FeatDim: 128, NumClasses: 64, LabelRatio: 0.01,
+		TrainFrac: 0.8, ValFrac: 0.1, Undirected: true,
+		ZipfS: 1.3, Homophily: 0.5, NoiseSigma: 1.2, Seed: 13,
+	}
+	UKDomain = Spec{
+		Name: "UK_domain", Nodes: 105_200_000, Edges: 3_300_000_000,
+		FeatDim: 128, NumClasses: 64, LabelRatio: 0.01,
+		TrainFrac: 0.8, ValFrac: 0.1, Undirected: true,
+		ZipfS: 1.25, Homophily: 0.5, NoiseSigma: 1.2, Seed: 14,
+	}
+)
+
+// Registry maps dataset names to their full-size specs.
+var Registry = map[string]Spec{
+	OgbnProducts.Name:   OgbnProducts,
+	OgbnPapers100M.Name: OgbnPapers100M,
+	Friendster.Name:     Friendster,
+	UKDomain.Name:       UKDomain,
+}
+
+// All returns the four paper datasets in evaluation order.
+func All() []Spec {
+	return []Spec{OgbnProducts, OgbnPapers100M, Friendster, UKDomain}
+}
+
+// Dataset is a generated graph with features, labels and splits.
+type Dataset struct {
+	Spec   Spec
+	Graph  *graph.CSR
+	Feat   []float32 // row-major [Nodes x FeatDim]
+	Labels []int32   // -1 for unlabeled nodes
+	// Train, Val and Test hold labeled node IDs.
+	Train, Val, Test []int64
+}
+
+// Class returns node v's class, which is fixed by construction (v mod C)
+// so that homophilous edge sampling is O(1).
+func (s Spec) Class(v int64) int32 { return int32(v % int64(s.NumClasses)) }
+
+// Generate builds the dataset described by s. Generation is deterministic
+// for a given spec (including seed).
+func Generate(s Spec) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := s.Nodes
+	c := int64(s.NumClasses)
+
+	// Degree power law: sources drawn from a Zipf over "popularity slots",
+	// scattered over node IDs by a fixed affine permutation so hubs do not
+	// cluster in one hash partition.
+	zipf := rand.NewZipf(rng, s.ZipfS, 1, uint64(n-1))
+	perm := newAffinePerm(n)
+
+	coo := graph.COO{N: n}
+	coo.Src = make([]int64, 0, s.Edges)
+	coo.Dst = make([]int64, 0, s.Edges)
+	for i := int64(0); i < s.Edges; i++ {
+		src := perm.apply(int64(zipf.Uint64()))
+		var dst int64
+		if rng.Float64() < s.Homophily {
+			// Same-class endpoint: classes are v mod C, so a uniform
+			// same-class draw is class + C*k.
+			cls := src % c
+			k := rng.Int63n((n-cls-1)/c + 1)
+			dst = cls + c*k
+		} else {
+			dst = perm.apply(int64(zipf.Uint64()))
+		}
+		if dst == src {
+			dst = (src + 1 + rng.Int63n(n-1)) % n
+		}
+		coo.Src = append(coo.Src, src)
+		coo.Dst = append(coo.Dst, dst)
+	}
+	csr, err := graph.FromCOO(coo, s.Undirected)
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{Spec: s, Graph: csr}
+	ds.generateFeatures(rng)
+	ds.generateSplits(rng)
+	return ds, nil
+}
+
+// generateFeatures fills label-correlated features: each class has a random
+// centroid direction and every node is its centroid plus Gaussian noise.
+func (d *Dataset) generateFeatures(rng *rand.Rand) {
+	s := d.Spec
+	dim := s.FeatDim
+	centroids := make([]float32, s.NumClasses*dim)
+	for i := range centroids {
+		centroids[i] = float32(rng.NormFloat64())
+	}
+	d.Feat = make([]float32, s.Nodes*int64(dim))
+	// Per-node noise from a cheap hash-seeded stream keeps generation
+	// deterministic regardless of node order.
+	for v := int64(0); v < s.Nodes; v++ {
+		cls := int(s.Class(v))
+		nr := rand.New(rand.NewSource(s.Seed ^ (v+1)*0x9e3779b9))
+		row := d.Feat[v*int64(dim) : (v+1)*int64(dim)]
+		for j := 0; j < dim; j++ {
+			row[j] = centroids[cls*dim+j] + float32(nr.NormFloat64())*float32(s.NoiseSigma)
+		}
+	}
+}
+
+// generateSplits labels LabelRatio of the nodes and splits them into
+// train/val/test.
+func (d *Dataset) generateSplits(rng *rand.Rand) {
+	s := d.Spec
+	d.Labels = make([]int32, s.Nodes)
+	for i := range d.Labels {
+		d.Labels[i] = -1
+	}
+	nLabeled := int64(float64(s.Nodes) * s.LabelRatio)
+	if nLabeled < int64(s.NumClasses) {
+		nLabeled = min64(int64(s.NumClasses), s.Nodes)
+	}
+	ids := rng.Perm(int(s.Nodes))[:nLabeled]
+	nTrain := int64(float64(nLabeled) * s.TrainFrac)
+	nVal := int64(float64(nLabeled) * s.ValFrac)
+	for i, id := range ids {
+		v := int64(id)
+		d.Labels[v] = s.Class(v)
+		switch {
+		case int64(i) < nTrain:
+			d.Train = append(d.Train, v)
+		case int64(i) < nTrain+nVal:
+			d.Val = append(d.Val, v)
+		default:
+			d.Test = append(d.Test, v)
+		}
+	}
+}
+
+// NumEdgePairs returns the generated edge-pair count (Table II convention).
+func (d *Dataset) NumEdgePairs() int64 {
+	if d.Spec.Undirected {
+		return d.Graph.NumEdges() / 2
+	}
+	return d.Graph.NumEdges()
+}
+
+// affinePerm is a bijection over [0,n): x -> (a*x+b) mod n with gcd(a,n)=1.
+type affinePerm struct{ a, b, n int64 }
+
+func newAffinePerm(n int64) affinePerm {
+	a := int64(6364136223846793005 % uint64(n))
+	if a <= 1 {
+		a = 1
+	}
+	for gcd(a, n) != 1 {
+		a++
+	}
+	return affinePerm{a: a, b: n / 3, n: n}
+}
+
+func (p affinePerm) apply(x int64) int64 {
+	hi := (p.a % p.n) * (x % p.n) % p.n // avoid overflow for n < 2^31.5
+	return (hi + p.b) % p.n
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

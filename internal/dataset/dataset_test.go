@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallSpec() Spec {
+	s := OgbnProducts.Scaled(0.001) // ~2400 nodes, ~62k edges
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("registry spec %s invalid: %v", s.Name, err)
+		}
+	}
+	bad := OgbnProducts
+	bad.ZipfS = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Error("ZipfS=1 accepted")
+	}
+	bad = OgbnProducts
+	bad.NumClasses = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("NumClasses=1 accepted")
+	}
+	bad = OgbnProducts
+	bad.TrainFrac = 0.9
+	bad.ValFrac = 0.2
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping split accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := OgbnPapers100M.Scaled(0.0001)
+	if s.Nodes != 11110 || s.Edges != 160000 {
+		t.Errorf("scaled sizes: %d nodes %d edges", s.Nodes, s.Edges)
+	}
+	if s.FeatDim != 128 {
+		t.Errorf("scaling changed feature dim")
+	}
+	if s.Name == OgbnPapers100M.Name {
+		t.Error("scaled name should record the factor")
+	}
+	// Scale floor keeps tiny factors usable.
+	tiny := OgbnProducts.Scaled(1e-9)
+	if tiny.Nodes < 64 || tiny.Edges < 128 {
+		t.Errorf("scale floor violated: %d/%d", tiny.Nodes, tiny.Edges)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Spec
+	if d.Graph.N != s.Nodes {
+		t.Fatalf("nodes = %d, want %d", d.Graph.N, s.Nodes)
+	}
+	if d.NumEdgePairs() != s.Edges {
+		t.Fatalf("edge pairs = %d, want %d", d.NumEdgePairs(), s.Edges)
+	}
+	if d.Graph.NumEdges() != 2*s.Edges {
+		t.Fatalf("undirected storage should double edges: %d", d.Graph.NumEdges())
+	}
+	if int64(len(d.Feat)) != s.Nodes*int64(s.FeatDim) {
+		t.Fatalf("feature length %d", len(d.Feat))
+	}
+	nLab := len(d.Train) + len(d.Val) + len(d.Test)
+	wantLab := int(float64(s.Nodes) * s.LabelRatio)
+	if nLab < wantLab-1 || nLab > wantLab+1 {
+		t.Errorf("labeled = %d, want ~%d", nLab, wantLab)
+	}
+	if len(d.Train) < 7*nLab/10 {
+		t.Errorf("train split too small: %d of %d", len(d.Train), nLab)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("edge counts differ across runs")
+	}
+	for i := range a.Graph.Col {
+		if a.Graph.Col[i] != b.Graph.Col[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range a.Feat {
+		if a.Feat[i] != b.Feat[i] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatalf("train id %d differs", i)
+		}
+	}
+}
+
+func TestLabelsConsistent(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Spec
+	seen := map[int64]bool{}
+	for _, set := range [][]int64{d.Train, d.Val, d.Test} {
+		for _, v := range set {
+			if seen[v] {
+				t.Fatalf("node %d appears in two splits", v)
+			}
+			seen[v] = true
+			if d.Labels[v] != s.Class(v) {
+				t.Fatalf("label of %d = %d, want %d", v, d.Labels[v], s.Class(v))
+			}
+			if d.Labels[v] < 0 || d.Labels[v] >= int32(s.NumClasses) {
+				t.Fatalf("label of %d out of range: %d", v, d.Labels[v])
+			}
+		}
+	}
+	unlabeled := 0
+	for _, l := range d.Labels {
+		if l == -1 {
+			unlabeled++
+		}
+	}
+	if unlabeled == 0 {
+		t.Error("no unlabeled nodes despite LabelRatio < 1")
+	}
+}
+
+func TestDegreeDistributionHeavyTailed(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := d.Graph.MaxDegree()
+	avg := float64(d.Graph.NumEdges()) / float64(d.Graph.N)
+	if float64(maxDeg) < 10*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestHomophily(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Spec
+	same, total := 0, 0
+	for v := int64(0); v < d.Graph.N; v++ {
+		for _, w := range d.Graph.Neighbors(v) {
+			total++
+			if s.Class(v) == s.Class(w) {
+				same++
+			}
+		}
+	}
+	frac := float64(same) / float64(total)
+	// With homophily 0.6 and 47 classes, same-class edges should be far
+	// above the 1/47 random baseline.
+	if frac < 0.3 {
+		t.Errorf("same-class edge fraction = %.3f, want >= 0.3", frac)
+	}
+}
+
+func TestFeaturesClassSeparated(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Spec
+	dim := s.FeatDim
+	// Mean intra-class distance to the class mean must be below the mean
+	// distance to another class's mean — otherwise nothing is learnable.
+	means := make([]float64, s.NumClasses*dim)
+	counts := make([]float64, s.NumClasses)
+	for v := int64(0); v < s.Nodes; v++ {
+		c := int(s.Class(v))
+		counts[c]++
+		for j := 0; j < dim; j++ {
+			means[c*dim+j] += float64(d.Feat[v*int64(dim)+int64(j)])
+		}
+	}
+	for c := 0; c < s.NumClasses; c++ {
+		for j := 0; j < dim; j++ {
+			means[c*dim+j] /= counts[c]
+		}
+	}
+	dist := func(v int64, c int) float64 {
+		var sum float64
+		for j := 0; j < dim; j++ {
+			df := float64(d.Feat[v*int64(dim)+int64(j)]) - means[c*dim+j]
+			sum += df * df
+		}
+		return math.Sqrt(sum)
+	}
+	var own, other float64
+	n := int64(500)
+	for v := int64(0); v < n; v++ {
+		c := int(s.Class(v))
+		own += dist(v, c)
+		other += dist(v, (c+1)%s.NumClasses)
+	}
+	if own >= other {
+		t.Errorf("features not class-separated: own dist %.2f >= other %.2f", own/float64(n), other/float64(n))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range []string{"ogbn-products", "ogbn-papers100M", "Friendster", "UK_domain"} {
+		if _, ok := Registry[name]; !ok {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+	if len(All()) != 4 {
+		t.Errorf("All() returned %d specs", len(All()))
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < d.Graph.N; v++ {
+		for _, w := range d.Graph.Neighbors(v) {
+			if w == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.bin"
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != orig.Spec {
+		t.Fatalf("spec mismatch: %+v vs %+v", got.Spec, orig.Spec)
+	}
+	if got.Graph.N != orig.Graph.N || got.Graph.NumEdges() != orig.Graph.NumEdges() {
+		t.Fatal("graph size mismatch")
+	}
+	for i := range orig.Graph.Col {
+		if got.Graph.Col[i] != orig.Graph.Col[i] {
+			t.Fatalf("col %d differs", i)
+		}
+	}
+	for i := range orig.Feat {
+		if got.Feat[i] != orig.Feat[i] {
+			t.Fatalf("feat %d differs", i)
+		}
+	}
+	for i := range orig.Labels {
+		if got.Labels[i] != orig.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	for i := range orig.Train {
+		if got.Train[i] != orig.Train[i] {
+			t.Fatalf("train %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a dataset")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("WGDS")); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Wrong version.
+	var sb strings.Builder
+	sb.WriteString("WGDS")
+	sb.Write([]byte{99, 0, 0, 0})
+	if _, err := Load(strings.NewReader(sb.String())); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"wholegraph/internal/graph"
+)
+
+// Binary dataset serialization, so expensive generations (the larger scale
+// factors take minutes) can be produced once with wggen and reloaded by the
+// harness. Format: a magic string, a JSON-encoded Spec header, then the raw
+// little-endian arrays with length prefixes.
+
+const (
+	ioMagic   = "WGDS"
+	ioVersion = uint32(1)
+)
+
+// Save writes the dataset in the binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ioVersion); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(d.Spec)
+	if err != nil {
+		return fmt.Errorf("dataset: encoding spec: %w", err)
+	}
+	if err := writeBytes(bw, hdr); err != nil {
+		return err
+	}
+	for _, arr := range [][]int64{d.Graph.RowPtr, d.Graph.Col, d.Train, d.Val, d.Test} {
+		if err := writeSlice(bw, arr); err != nil {
+			return err
+		}
+	}
+	if err := writeSlice(bw, d.Feat); err != nil {
+		return err
+	}
+	if err := writeSlice(bw, d.Labels); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ioMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	hdr, err := readBytes(br)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Graph: &graph.CSR{}}
+	if err := json.Unmarshal(hdr, &d.Spec); err != nil {
+		return nil, fmt.Errorf("dataset: decoding spec: %w", err)
+	}
+	for _, arr := range []*[]int64{&d.Graph.RowPtr, &d.Graph.Col, &d.Train, &d.Val, &d.Test} {
+		if *arr, err = readSlice[int64](br); err != nil {
+			return nil, err
+		}
+	}
+	if d.Feat, err = readSlice[float32](br); err != nil {
+		return nil, err
+	}
+	if d.Labels, err = readSlice[int32](br); err != nil {
+		return nil, err
+	}
+	d.Graph.N = int64(len(d.Graph.RowPtr)) - 1
+	if d.Graph.N < 0 || d.Graph.N != d.Spec.Nodes {
+		return nil, fmt.Errorf("dataset: corrupt file: %d rowptr entries for %d nodes",
+			len(d.Graph.RowPtr), d.Spec.Nodes)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("dataset: implausible block size %d", n)
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(r, b)
+	return b, err
+}
+
+type ioElem interface{ int64 | int32 | float32 }
+
+func writeSlice[T ioElem](w io.Writer, s []T) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(s))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readSlice[T ioElem](r io.Reader) ([]T, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<33 {
+		return nil, fmt.Errorf("dataset: implausible slice length %d", n)
+	}
+	s := make([]T, n)
+	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,158 @@
+// Package gnn implements the three GNN models the paper evaluates (GCN,
+// GraphSAGE with mean aggregation, and GAT with multi-head attention) over
+// sampled multi-layer sub-graphs, on top of the autograd tape, the dense nn
+// layers and the sparse spops kernels.
+//
+// The models are framework-agnostic in the paper's sense: the same model
+// runs inside the WholeGraph pipeline and inside the DGL-like/PyG-like
+// baseline pipelines, with the layer backend (spops.Backend) choosing whose
+// kernel implementations carry the compute (Figure 11).
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/nn"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+)
+
+// Batch is one training mini-batch in message-flow-graph form. Blocks[l] is
+// the sampled bipartite block consumed by GNN layer l: its NumNodes input
+// nodes carry the layer's input features (the block's NumTargets targets
+// are the first NumTargets of them), and its targets become the next
+// block's input nodes. Feat holds the gathered features of Blocks[0]'s
+// input nodes; Labels label the final targets.
+type Batch struct {
+	Blocks []*spops.SubCSR
+	Feat   *tensor.Dense
+	Labels []int32
+}
+
+// Validate checks the block chaining invariants.
+func (b *Batch) Validate() error {
+	if len(b.Blocks) == 0 {
+		return fmt.Errorf("gnn: batch has no blocks")
+	}
+	for l, blk := range b.Blocks {
+		if err := blk.Validate(); err != nil {
+			return fmt.Errorf("gnn: block %d: %w", l, err)
+		}
+		if l+1 < len(b.Blocks) && blk.NumTargets != b.Blocks[l+1].NumNodes {
+			return fmt.Errorf("gnn: block %d targets %d != block %d nodes %d",
+				l, blk.NumTargets, l+1, b.Blocks[l+1].NumNodes)
+		}
+	}
+	if b.Feat.R != b.Blocks[0].NumNodes {
+		return fmt.Errorf("gnn: feature rows %d != block 0 nodes %d", b.Feat.R, b.Blocks[0].NumNodes)
+	}
+	last := b.Blocks[len(b.Blocks)-1]
+	if len(b.Labels) != last.NumTargets {
+		return fmt.Errorf("gnn: %d labels for %d targets", len(b.Labels), last.NumTargets)
+	}
+	return nil
+}
+
+// BatchSize returns the number of final target nodes.
+func (b *Batch) BatchSize() int { return b.Blocks[len(b.Blocks)-1].NumTargets }
+
+// Model is a GNN producing logits for a batch's final targets.
+type Model interface {
+	// Forward binds the parameters on tp and returns the logits
+	// [BatchSize x classes]. dev may be nil to skip cost accounting;
+	// train enables dropout.
+	Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) *autograd.Var
+	// Params exposes the trainable parameters.
+	Params() *nn.ParamSet
+	// Name identifies the architecture ("gcn", "graphsage", "gat").
+	Name() string
+}
+
+// LayerwiseModel is a Model whose layers can be applied one at a time to a
+// single block, enabling full-graph layer-wise inference (internal/infer).
+// All three built-in architectures implement it.
+type LayerwiseModel interface {
+	Model
+	// Config returns the model's hyperparameters.
+	Config() Config
+	// NumLayers returns the layer count.
+	NumLayers() int
+	// ForwardLayer applies layer l to block blk over input features x
+	// (whose tape must already have the model's parameters bound). last
+	// marks the output layer (no activation/dropout); train enables
+	// dropout.
+	ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var
+}
+
+// LayerOutDim returns the width of layer l's output under cfg.
+func (c Config) LayerOutDim(l int) int {
+	if l == c.Layers-1 {
+		return c.Classes
+	}
+	return c.Hidden
+}
+
+// Config holds the common hyperparameters of the paper's evaluation:
+// 3 layers, hidden 256, 4 GAT heads, dropout 0.5.
+type Config struct {
+	InDim   int
+	Hidden  int
+	Classes int
+	Layers  int
+	Heads   int // GAT only
+	Dropout float32
+	Backend spops.Backend
+	Seed    int64
+}
+
+// PaperConfig returns the evaluation defaults of §IV for a dataset with the
+// given feature dimension and class count.
+func PaperConfig(inDim, classes int) Config {
+	return Config{
+		InDim: inDim, Hidden: 256, Classes: classes,
+		Layers: 3, Heads: 4, Dropout: 0.5,
+		Backend: spops.BackendNative, Seed: 1,
+	}
+}
+
+// withSelfLoops returns g with one self edge (t -> t) appended to every
+// target row; targets are the first NumTargets input nodes, so the column
+// index equals the row index. GCN and GAT aggregate over the closed
+// neighborhood.
+func withSelfLoops(g *spops.SubCSR) *spops.SubCSR {
+	out := &spops.SubCSR{
+		NumTargets: g.NumTargets,
+		NumNodes:   g.NumNodes,
+		RowPtr:     make([]int64, 1, g.NumTargets+1),
+		Col:        make([]int32, 0, int(g.NumEdges())+g.NumTargets),
+		DupCount:   append([]int32(nil), g.DupCount...),
+	}
+	if out.DupCount == nil {
+		out.DupCount = make([]int32, g.NumNodes)
+	}
+	for t := 0; t < g.NumTargets; t++ {
+		out.Col = append(out.Col, g.Col[g.RowPtr[t]:g.RowPtr[t+1]]...)
+		if g.EdgeW != nil {
+			out.EdgeW = append(out.EdgeW, g.EdgeW[g.RowPtr[t]:g.RowPtr[t+1]]...)
+		}
+		out.Col = append(out.Col, int32(t))
+		if g.EdgeW != nil {
+			out.EdgeW = append(out.EdgeW, 1) // self edges carry unit weight
+		}
+		out.DupCount[t]++
+		out.RowPtr = append(out.RowPtr, int64(len(out.Col)))
+	}
+	return out
+}
+
+// dropoutVar applies dropout when training with p > 0.
+func dropoutVar(dev *sim.Device, x *autograd.Var, p float32, train bool, rng *rand.Rand) *autograd.Var {
+	if !train || p <= 0 {
+		return x
+	}
+	nn.ChargeElementwise(dev, int64(len(x.Value.V)))
+	return autograd.Dropout(x, p, rng.Float32)
+}

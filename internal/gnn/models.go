@@ -1,0 +1,326 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/nn"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+)
+
+// GCN is a sampled graph convolutional network: every layer averages over
+// the closed (self-loop-augmented) sampled neighborhood and applies a
+// linear transform; ReLU and dropout between layers.
+type GCN struct {
+	cfg    Config
+	ps     nn.ParamSet
+	layers []*nn.Linear
+	rng    *rand.Rand
+}
+
+// NewGCN builds a GCN from cfg.
+func NewGCN(cfg Config) *GCN {
+	m := &GCN{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		m.layers = append(m.layers, nn.NewLinear(&m.ps, layerName("gcn", l), in, out, m.rng))
+		in = out
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GCN) Name() string { return "gcn" }
+
+// Params implements Model.
+func (m *GCN) Params() *nn.ParamSet { return &m.ps }
+
+// Forward implements Model.
+func (m *GCN) Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) *autograd.Var {
+	m.ps.Bind(tp)
+	x := tp.Const(b.Feat)
+	for l, blk := range b.Blocks {
+		x = m.ForwardLayer(dev, l, blk, x, l == len(b.Blocks)-1, train)
+	}
+	return x
+}
+
+// Config implements LayerwiseModel.
+func (m *GCN) Config() Config { return m.cfg }
+
+// NumLayers implements LayerwiseModel.
+func (m *GCN) NumLayers() int { return m.cfg.Layers }
+
+// ForwardLayer implements LayerwiseModel. Parameters must already be bound
+// on x's tape.
+func (m *GCN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
+	agg := spops.SpMM(dev, m.cfg.Backend, withSelfLoops(blk), x, nil, spops.AggMean)
+	out := m.layers[l].Apply(dev, agg)
+	if !last {
+		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		out = autograd.ReLU(out)
+		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
+	}
+	return out
+}
+
+// SAGE is GraphSAGE with mean aggregation: each layer concatenates the
+// target's own features with the mean of its sampled neighbors and applies
+// a linear transform (Hamilton et al.'s W·[h_self || h_neigh]).
+type SAGE struct {
+	cfg    Config
+	ps     nn.ParamSet
+	layers []*nn.Linear
+	rng    *rand.Rand
+}
+
+// NewSAGE builds a GraphSAGE model from cfg.
+func NewSAGE(cfg Config) *SAGE {
+	m := &SAGE{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		m.layers = append(m.layers, nn.NewLinear(&m.ps, layerName("sage", l), 2*in, out, m.rng))
+		in = out
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *SAGE) Name() string { return "graphsage" }
+
+// Params implements Model.
+func (m *SAGE) Params() *nn.ParamSet { return &m.ps }
+
+// Forward implements Model.
+func (m *SAGE) Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) *autograd.Var {
+	m.ps.Bind(tp)
+	x := tp.Const(b.Feat)
+	for l, blk := range b.Blocks {
+		x = m.ForwardLayer(dev, l, blk, x, l == len(b.Blocks)-1, train)
+	}
+	return x
+}
+
+// Config implements LayerwiseModel.
+func (m *SAGE) Config() Config { return m.cfg }
+
+// NumLayers implements LayerwiseModel.
+func (m *SAGE) NumLayers() int { return m.cfg.Layers }
+
+// ForwardLayer implements LayerwiseModel. Parameters must already be bound
+// on x's tape.
+func (m *SAGE) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
+	self := autograd.Rows(x, blk.NumTargets)
+	agg := spops.SpMM(dev, m.cfg.Backend, blk, x, nil, spops.AggMean)
+	out := m.layers[l].Apply(dev, autograd.ConcatCols(self, agg))
+	if !last {
+		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		out = autograd.ReLU(out)
+		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
+	}
+	return out
+}
+
+// GAT is a multi-head graph attention network. Each head projects the
+// inputs, scores every sampled edge with LeakyReLU(a_l·Wh_t + a_r·Wh_s)
+// (a g-SDDMM), normalizes scores per target with a segment softmax, and
+// aggregates with an edge-weighted g-SpMM. Hidden layers concatenate the
+// heads; the output layer averages them.
+type GAT struct {
+	cfg   Config
+	ps    nn.ParamSet
+	proj  [][]*nn.Linear // [layer][head]
+	attnL [][]*nn.Param  // [layer][head] a_l, shape [headDim x 1]
+	attnR [][]*nn.Param
+	rng   *rand.Rand
+}
+
+// NewGAT builds a GAT from cfg; cfg.Hidden must divide by cfg.Heads.
+func NewGAT(cfg Config) *GAT {
+	if cfg.Heads <= 0 || cfg.Hidden%cfg.Heads != 0 {
+		panic("gnn: GAT hidden size must be a positive multiple of heads")
+	}
+	m := &GAT{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		headDim := cfg.Hidden / cfg.Heads
+		if l == cfg.Layers-1 {
+			headDim = cfg.Classes // output heads are averaged
+		}
+		var projs []*nn.Linear
+		var als, ars []*nn.Param
+		for h := 0; h < cfg.Heads; h++ {
+			name := layerName("gat", l) + headName(h)
+			projs = append(projs, nn.NewLinear(&m.ps, name+".proj", in, headDim, m.rng))
+			als = append(als, m.ps.New(name+".al", glorotVec(headDim, m.rng)))
+			ars = append(ars, m.ps.New(name+".ar", glorotVec(headDim, m.rng)))
+		}
+		m.proj = append(m.proj, projs)
+		m.attnL = append(m.attnL, als)
+		m.attnR = append(m.attnR, ars)
+		if l == cfg.Layers-1 {
+			in = cfg.Classes
+		} else {
+			in = cfg.Hidden
+		}
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GAT) Name() string { return "gat" }
+
+// Params implements Model.
+func (m *GAT) Params() *nn.ParamSet { return &m.ps }
+
+// Forward implements Model.
+func (m *GAT) Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) *autograd.Var {
+	m.ps.Bind(tp)
+	x := tp.Const(b.Feat)
+	for l, blk := range b.Blocks {
+		x = m.ForwardLayer(dev, l, blk, x, l == len(b.Blocks)-1, train)
+	}
+	return x
+}
+
+// Config implements LayerwiseModel.
+func (m *GAT) Config() Config { return m.cfg }
+
+// NumLayers implements LayerwiseModel.
+func (m *GAT) NumLayers() int { return m.cfg.Layers }
+
+// ForwardLayer implements LayerwiseModel. Parameters must already be bound
+// on x's tape.
+func (m *GAT) ForwardLayer(dev *sim.Device, l int, rawBlk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
+	blk := withSelfLoops(rawBlk)
+	var headsOut *autograd.Var
+	for h := 0; h < m.cfg.Heads; h++ {
+		hproj := m.proj[l][h].Apply(dev, x) // [nodes x headDim]
+		ht := autograd.Rows(hproj, blk.NumTargets)
+		sl := autograd.MatMul(ht, m.attnL[l][h].Var())    // [targets x 1]
+		sr := autograd.MatMul(hproj, m.attnR[l][h].Var()) // [nodes x 1]
+		e := spops.EdgeLeakyReLU(dev, spops.EdgeScore(dev, blk, sl, sr), 0.2)
+		alpha := spops.SegmentSoftmax(dev, blk, e)
+		out := spops.SpMM(dev, m.cfg.Backend, blk, hproj, alpha, spops.AggSum)
+		switch {
+		case headsOut == nil:
+			headsOut = out
+		case last:
+			headsOut = autograd.Add(headsOut, out) // average later
+		default:
+			headsOut = autograd.ConcatCols(headsOut, out)
+		}
+	}
+	if last {
+		return autograd.Scale(headsOut, 1/float32(m.cfg.Heads))
+	}
+	nn.ChargeElementwise(dev, int64(len(headsOut.Value.V)))
+	return dropoutVar(dev, autograd.ReLU(headsOut), m.cfg.Dropout, train, m.rng)
+}
+
+// New constructs a model by architecture name ("gcn", "graphsage", "gat").
+func New(arch string, cfg Config) Model {
+	switch arch {
+	case "gcn":
+		return NewGCN(cfg)
+	case "graphsage", "sage":
+		return NewSAGE(cfg)
+	case "gat":
+		return NewGAT(cfg)
+	case "gin":
+		return NewGIN(cfg)
+	}
+	panic("gnn: unknown architecture " + arch)
+}
+
+// Architectures lists the evaluated model names in paper order. GIN is
+// available via New("gin", ...) but excluded here because the paper's
+// experiments cover only these three.
+func Architectures() []string { return []string{"gcn", "graphsage", "gat"} }
+
+func layerName(arch string, l int) string { return arch + "." + string(rune('0'+l)) }
+func headName(h int) string               { return ".h" + string(rune('0'+h)) }
+
+func glorotVec(dim int, rng *rand.Rand) *tensor.Dense {
+	return tensor.Glorot(dim, 1, rng)
+}
+
+// GIN is a Graph Isomorphism Network layer stack: each layer computes
+// MLP((1+eps)·h_v + sum over sampled neighbors), with a learnable eps per
+// layer (Xu et al. 2019). It is not part of the paper's evaluation but
+// demonstrates that the op set (sum-aggregation g-SpMM + dense layers)
+// supports architectures beyond the evaluated three.
+type GIN struct {
+	cfg  Config
+	ps   nn.ParamSet
+	mlp1 []*nn.Linear
+	mlp2 []*nn.Linear
+	eps  []*nn.Param
+	rng  *rand.Rand
+}
+
+// NewGIN builds a GIN from cfg.
+func NewGIN(cfg Config) *GIN {
+	m := &GIN{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.Classes
+		}
+		name := layerName("gin", l)
+		m.mlp1 = append(m.mlp1, nn.NewLinear(&m.ps, name+".mlp1", in, cfg.Hidden, m.rng))
+		m.mlp2 = append(m.mlp2, nn.NewLinear(&m.ps, name+".mlp2", cfg.Hidden, out, m.rng))
+		m.eps = append(m.eps, m.ps.New(name+".eps", tensor.New(1, 1)))
+		in = out
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GIN) Name() string { return "gin" }
+
+// Params implements Model.
+func (m *GIN) Params() *nn.ParamSet { return &m.ps }
+
+// Config implements LayerwiseModel.
+func (m *GIN) Config() Config { return m.cfg }
+
+// NumLayers implements LayerwiseModel.
+func (m *GIN) NumLayers() int { return m.cfg.Layers }
+
+// Forward implements Model.
+func (m *GIN) Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) *autograd.Var {
+	m.ps.Bind(tp)
+	x := tp.Const(b.Feat)
+	for l, blk := range b.Blocks {
+		x = m.ForwardLayer(dev, l, blk, x, l == len(b.Blocks)-1, train)
+	}
+	return x
+}
+
+// ForwardLayer implements LayerwiseModel.
+func (m *GIN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
+	agg := spops.SpMM(dev, m.cfg.Backend, blk, x, nil, spops.AggSum)
+	self := autograd.Rows(x, blk.NumTargets)
+	// (1+eps)*self + agg, with eps a learnable scalar.
+	scaled := autograd.ScaleByScalarPlusOne(self, m.eps[l].Var())
+	h := autograd.Add(scaled, agg)
+	out := m.mlp2[l].Apply(dev, autograd.ReLU(m.mlp1[l].Apply(dev, h)))
+	if !last {
+		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		out = autograd.ReLU(out)
+		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package graph
+
+import "fmt"
+
+// GlobalID identifies a node in the partitioned graph: the rank that owns
+// the node in the high 16 bits and the node's local index within that rank
+// in the low 48 bits, following the paper's "GlobalID = rank ID + local ID".
+type GlobalID uint64
+
+const (
+	localBits = 48
+	localMask = (1 << localBits) - 1
+	// MaxLocal is the largest local index a rank can hold.
+	MaxLocal = int64(localMask)
+)
+
+// MakeGlobalID packs a rank and local index into a GlobalID.
+func MakeGlobalID(rank int, local int64) GlobalID {
+	if rank < 0 || rank > 0xffff {
+		panic(fmt.Sprintf("graph: rank %d out of range", rank))
+	}
+	if local < 0 || local > MaxLocal {
+		panic(fmt.Sprintf("graph: local index %d out of range", local))
+	}
+	return GlobalID(uint64(rank)<<localBits | uint64(local))
+}
+
+// Rank returns the owning rank.
+func (g GlobalID) Rank() int { return int(g >> localBits) }
+
+// Local returns the index within the owning rank.
+func (g GlobalID) Local() int64 { return int64(g & localMask) }
+
+// String formats the GlobalID as rank:local.
+func (g GlobalID) String() string { return fmt.Sprintf("%d:%d", g.Rank(), g.Local()) }
+
+// hashNode is the node-to-rank hash (SplitMix64 finalizer): the paper
+// partitions nodes "according to the node ID hash value".
+func hashNode(id int64) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RankFor returns the rank that owns original node id under hash
+// partitioning into parts ranks.
+func RankFor(id int64, parts int) int {
+	return int(hashNode(id) % uint64(parts))
+}
+
+// HashEdgeWeight is the synthetic edge-weight function used when a dataset
+// declares weighted edges: a deterministic uniform value in [0.5, 1.5)
+// derived from the endpoint pair, so every storage layer (host CSR,
+// partitioned store) agrees on each edge's weight without extra state.
+func HashEdgeWeight(u, v int64) float32 {
+	h := hashNode(u*0x1f3a5b + v)
+	return 0.5 + float32(h%1024)/1024
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"fmt"
+
+	"wholegraph/internal/wholemem"
+)
+
+// Partitioned is the multi-GPU graph store of WholeGraph: nodes are
+// hash-partitioned to ranks, every edge is stored with its source node, and
+// node features are stored on the same GPU as the node. All arrays live in
+// multi-GPU distributed shared memory, so any rank can read any of them
+// from inside a kernel.
+type Partitioned struct {
+	Comm *wholemem.Comm
+	// N is the number of nodes, Dim the feature dimension.
+	N   int64
+	Dim int
+
+	// Owner maps an original node ID to its GlobalID.
+	Owner []GlobalID
+	// Orig maps (rank, local) back to the original node ID.
+	Orig [][]int64
+
+	// RowPtr holds, per rank, localN+1 offsets into the rank's edge shard.
+	RowPtr *wholemem.Memory[int64]
+	// Col holds the destination GlobalIDs, sharded by source rank.
+	Col *wholemem.Memory[uint64]
+	// Feat holds node features row-major, sharded with the owning rank.
+	Feat *wholemem.Memory[float32]
+	// EdgeW optionally holds one weight per stored edge, aligned with Col
+	// (the paper's edge features e_{s,t} in its message-passing formula).
+	EdgeW *wholemem.Memory[float32]
+
+	// rowBase[r] is the global feature-row index of rank r's first node.
+	rowBase []int64
+}
+
+// Partition distributes csr and its node features (row-major, feat[dim*i:]
+// for node i; may be nil) across the communicator using the paper's hash
+// partitioning. It performs the real data placement and charges each rank's
+// allocation/IPC setup cost.
+func Partition(csr *CSR, feat []float32, dim int, comm *wholemem.Comm) (*Partitioned, error) {
+	parts := comm.Size()
+	return PartitionBy(csr, feat, dim, comm, func(v int64) int { return RankFor(v, parts) })
+}
+
+// PartitionBy is Partition with an explicit node-to-rank assignment,
+// enabling the partition-strategy ablation (hash vs range vs
+// community-aware placement). ownerOf must return a rank in [0, comm.Size).
+func PartitionBy(csr *CSR, feat []float32, dim int, comm *wholemem.Comm, ownerOf func(v int64) int) (*Partitioned, error) {
+	if feat != nil && int64(len(feat)) != csr.N*int64(dim) {
+		return nil, fmt.Errorf("graph: feature length %d != N*dim = %d", len(feat), csr.N*int64(dim))
+	}
+	parts := comm.Size()
+	p := &Partitioned{Comm: comm, N: csr.N, Dim: dim}
+
+	// Assign GlobalIDs, locals in original-ID order.
+	p.Owner = make([]GlobalID, csr.N)
+	p.Orig = make([][]int64, parts)
+	for v := int64(0); v < csr.N; v++ {
+		r := ownerOf(v)
+		if r < 0 || r >= parts {
+			return nil, fmt.Errorf("graph: ownerOf(%d) = %d outside [0,%d)", v, r, parts)
+		}
+		p.Owner[v] = MakeGlobalID(r, int64(len(p.Orig[r])))
+		p.Orig[r] = append(p.Orig[r], v)
+	}
+
+	// Shard sizes.
+	rowSizes := make([]int64, parts)
+	edgeSizes := make([]int64, parts)
+	featSizes := make([]int64, parts)
+	p.rowBase = make([]int64, parts)
+	var rows int64
+	for r := 0; r < parts; r++ {
+		ln := int64(len(p.Orig[r]))
+		rowSizes[r] = ln + 1
+		featSizes[r] = ln * int64(dim)
+		p.rowBase[r] = rows
+		rows += ln
+		for _, v := range p.Orig[r] {
+			edgeSizes[r] += csr.Degree(v)
+		}
+	}
+
+	p.RowPtr = wholemem.AllocSharded[int64](comm, rowSizes)
+	p.Col = wholemem.AllocSharded[uint64](comm, edgeSizes)
+	if feat != nil {
+		p.Feat = wholemem.AllocSharded[float32](comm, featSizes)
+	}
+
+	// Fill each rank's shards in place (host-side construction).
+	for r := 0; r < parts; r++ {
+		rp := p.RowPtr.Shard(r)
+		col := p.Col.Shard(r)
+		var fs []float32
+		if feat != nil {
+			fs = p.Feat.Shard(r)
+		}
+		var off int64
+		for li, v := range p.Orig[r] {
+			rp[li] = off
+			for _, d := range csr.Neighbors(v) {
+				col[off] = uint64(p.Owner[d])
+				off++
+			}
+			if feat != nil {
+				copy(fs[int64(li)*int64(dim):], feat[v*int64(dim):(v+1)*int64(dim)])
+			}
+		}
+		rp[len(p.Orig[r])] = off
+	}
+	return p, nil
+}
+
+// AttachEdgeWeights allocates the per-edge weight table (sharded like the
+// edge array) and fills it with w(src, dst) over original node IDs. Edge
+// weights live in distributed shared memory like everything else and are
+// gathered per sampled edge during batch construction.
+func (p *Partitioned) AttachEdgeWeights(w func(u, v int64) float32) {
+	sizes := make([]int64, p.Comm.Size())
+	for r := range sizes {
+		sizes[r] = int64(len(p.Col.Shard(r)))
+	}
+	p.EdgeW = wholemem.AllocSharded[float32](p.Comm, sizes)
+	for r := 0; r < p.Comm.Size(); r++ {
+		rp := p.RowPtr.Shard(r)
+		col := p.Col.Shard(r)
+		ws := p.EdgeW.Shard(r)
+		for li, u := range p.Orig[r] {
+			for e := rp[li]; e < rp[li+1]; e++ {
+				d := GlobalID(col[e])
+				v := p.Orig[d.Rank()][d.Local()]
+				ws[e] = w(u, v)
+			}
+		}
+	}
+}
+
+// LocalCount returns the number of nodes owned by rank r.
+func (p *Partitioned) LocalCount(r int) int64 { return int64(len(p.Orig[r])) }
+
+// FeatRow returns the global feature-row index of gid, usable with
+// Feat.GatherRows.
+func (p *Partitioned) FeatRow(gid GlobalID) int64 {
+	return p.rowBase[gid.Rank()] + gid.Local()
+}
+
+// Degree returns gid's out-degree (uncharged host read; kernels account
+// their rowptr traffic through ChargeAccess).
+func (p *Partitioned) Degree(gid GlobalID) int64 {
+	base := p.RowPtr.ShardStart(gid.Rank())
+	lo := p.RowPtr.Get(base + gid.Local())
+	hi := p.RowPtr.Get(base + gid.Local() + 1)
+	return hi - lo
+}
+
+// NeighborAt returns gid's k-th neighbor (uncharged host read).
+func (p *Partitioned) NeighborAt(gid GlobalID, k int64) GlobalID {
+	rank := gid.Rank()
+	lo := p.RowPtr.Get(p.RowPtr.ShardStart(rank) + gid.Local())
+	return GlobalID(p.Col.Get(p.Col.ShardStart(rank) + lo + k))
+}
+
+// EdgeIndex returns the global element index (into Col and EdgeW) of gid's
+// k-th edge.
+func (p *Partitioned) EdgeIndex(gid GlobalID, k int64) int64 {
+	rank := gid.Rank()
+	lo := p.RowPtr.Get(p.RowPtr.ShardStart(rank) + gid.Local())
+	return p.Col.ShardStart(rank) + lo + k
+}
+
+// Neighbors returns gid's full neighbor list as a shared sub-slice of the
+// owning rank's edge shard.
+func (p *Partitioned) Neighbors(gid GlobalID) []uint64 {
+	rank := gid.Rank()
+	base := p.RowPtr.ShardStart(rank)
+	lo := p.RowPtr.Get(base + gid.Local())
+	hi := p.RowPtr.Get(base + gid.Local() + 1)
+	return p.Col.Shard(rank)[lo:hi]
+}
+
+// StructureBytesPerRank reports the adjacency bytes held by each rank
+// (Table IV accounting).
+func (p *Partitioned) StructureBytesPerRank() []int64 {
+	out := make([]int64, p.Comm.Size())
+	for r := range out {
+		out[r] = int64(len(p.RowPtr.Shard(r)))*8 + int64(len(p.Col.Shard(r)))*8
+	}
+	return out
+}
+
+// RangeOwner returns a contiguous-block node-to-rank assignment (rank r
+// owns IDs [r*N/parts, (r+1)*N/parts)), the simplest alternative to
+// hashing.
+func RangeOwner(n int64, parts int) func(int64) int {
+	chunk := (n + int64(parts) - 1) / int64(parts)
+	return func(v int64) int { return int(v / chunk) }
+}
+
+// FeatureBytesPerRank reports the feature bytes held by each rank.
+func (p *Partitioned) FeatureBytesPerRank() []int64 {
+	out := make([]int64, p.Comm.Size())
+	if p.Feat == nil {
+		return out
+	}
+	for r := range out {
+		out[r] = int64(len(p.Feat.Shard(r))) * 4
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package graphclass
+
+import (
+	"testing"
+
+	"wholegraph/internal/sim"
+)
+
+func testSpec() Spec {
+	return Spec{
+		NumGraphs: 120, MinNodes: 6, MaxNodes: 12,
+		FeatDim: 8, NumClasses: 3, TrainFrac: 0.8, Seed: 1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testSpec()
+	bad.NumClasses = 7
+	if bad.Validate() == nil {
+		t.Error("7 classes accepted")
+	}
+	bad = testSpec()
+	bad.MaxNodes = 2
+	if bad.Validate() == nil {
+		t.Error("bad node range accepted")
+	}
+	bad = testSpec()
+	bad.TrainFrac = 1
+	if bad.Validate() == nil {
+		t.Error("TrainFrac=1 accepted")
+	}
+}
+
+func TestMotifTopologies(t *testing.T) {
+	const n = 8
+	degrees := func(sm Small) []int {
+		d := make([]int, sm.N)
+		for _, e := range sm.Edges {
+			d[e[0]]++
+			d[e[1]]++
+		}
+		return d
+	}
+	// Cycle: every degree 2.
+	for _, d := range degrees(motif(0, n)) {
+		if d != 2 {
+			t.Errorf("cycle degree %d", d)
+		}
+	}
+	// Star: hub n-1, leaves 1.
+	ds := degrees(motif(1, n))
+	if ds[0] != n-1 {
+		t.Errorf("star hub degree %d", ds[0])
+	}
+	for _, d := range ds[1:] {
+		if d != 1 {
+			t.Errorf("star leaf degree %d", d)
+		}
+	}
+	// Clique: every degree n-1.
+	for _, d := range degrees(motif(2, n)) {
+		if d != n-1 {
+			t.Errorf("clique degree %d", d)
+		}
+	}
+	// Path: two endpoints of degree 1.
+	ends := 0
+	for _, d := range degrees(motif(3, n)) {
+		if d == 1 {
+			ends++
+		}
+	}
+	if ends != 2 {
+		t.Errorf("path has %d endpoints", ends)
+	}
+	// Two cycles: all degree 2, like one cycle, but disconnected — check
+	// edge count equals n (each half closes).
+	if got := len(motif(4, n).Edges); got != n {
+		t.Errorf("double-cycle edges = %d", got)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Graphs) != 120 || len(d.Labels) != 120 {
+		t.Fatalf("graphs = %d", len(d.Graphs))
+	}
+	if len(d.Train)+len(d.Test) != 120 {
+		t.Fatalf("splits cover %d", len(d.Train)+len(d.Test))
+	}
+	var rows int64
+	for g, sm := range d.Graphs {
+		if d.RowBase[g] != rows {
+			t.Fatalf("rowbase[%d] = %d, want %d", g, d.RowBase[g], rows)
+		}
+		rows += int64(sm.N)
+	}
+	if int64(len(d.Feat)) != rows*int64(d.Spec.FeatDim) {
+		t.Fatalf("feature length %d", len(d.Feat))
+	}
+}
+
+func TestTrainerLearnsMotifs(t *testing.T) {
+	d, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(sim.DGXA100(1))
+	store, err := NewStore(m, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	tr, err := New(store, m.Devs[0], Options{Batch: 24, Layers: 2, Hidden: 16, LR: 0.02, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Evaluate(d.Test)
+	var firstLoss, lastLoss float64
+	for it := 0; it < 80; it++ {
+		loss, _ := tr.TrainStep()
+		if it == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
+	}
+	after := tr.Evaluate(d.Test)
+	if lastLoss >= firstLoss {
+		t.Errorf("loss did not decrease: %.3f -> %.3f", firstLoss, lastLoss)
+	}
+	if after <= before {
+		t.Errorf("test accuracy did not improve: %.3f -> %.3f", before, after)
+	}
+	// Motifs are cleanly separable by topology: expect strong accuracy.
+	if after < 0.8 {
+		t.Errorf("final accuracy %.3f too low (chance %.3f)", after, 1.0/3)
+	}
+	if m.MaxTime() == 0 {
+		t.Error("training charged nothing")
+	}
+}
+
+func TestTrainerRejectsForeignDevice(t *testing.T) {
+	d, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(sim.DGXA100(2))
+	store, err := NewStore(m, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(store, m.NodeDevs(1)[0], Options{}); err == nil {
+		t.Error("device from another node accepted")
+	}
+}
+
+func TestUnionBatchStructure(t *testing.T) {
+	d, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(sim.DGXA100(1))
+	store, err := NewStore(m, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(store, m.Devs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{0, 5, 10}
+	blk, feat, offsets, labels := tr.unionBatch(ids)
+	if err := blk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantN := d.Graphs[0].N + d.Graphs[5].N + d.Graphs[10].N
+	if blk.NumNodes != wantN || feat.R != wantN {
+		t.Fatalf("union has %d nodes, want %d", blk.NumNodes, wantN)
+	}
+	if len(offsets) != 4 || offsets[3] != wantN {
+		t.Fatalf("offsets %v", offsets)
+	}
+	for i, g := range ids {
+		if labels[i] != d.Labels[g] {
+			t.Fatalf("label %d mismatch", i)
+		}
+	}
+	// No edge crosses graph boundaries.
+	for gi := 0; gi < 3; gi++ {
+		for v := offsets[gi]; v < offsets[gi+1]; v++ {
+			for e := blk.RowPtr[v]; e < blk.RowPtr[v+1]; e++ {
+				c := int(blk.Col[e])
+				if c < offsets[gi] || c >= offsets[gi+1] {
+					t.Fatalf("edge from %d escapes its graph", v)
+				}
+			}
+		}
+	}
+	// Features match the dataset rows.
+	dim := d.Spec.FeatDim
+	for v := 0; v < d.Graphs[0].N; v++ {
+		for j := 0; j < dim; j++ {
+			want := d.Feat[(d.RowBase[0]+int64(v))*int64(dim)+int64(j)]
+			if feat.At(v, j) != want {
+				t.Fatalf("feature mismatch at (%d,%d)", v, j)
+			}
+		}
+	}
+}

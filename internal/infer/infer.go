@@ -1,0 +1,162 @@
+// Package infer implements full-graph layer-wise inference over the
+// multi-GPU shared-memory store. The paper notes that WholeGraph's ops
+// serve inference as well as training ("it does not require collective
+// communication", §I); this is the standard offline-inference pattern: each
+// GNN layer is applied to every node exactly once, with the intermediate
+// embeddings living in distributed shared memory so every rank reads its
+// neighbors' embeddings through peer access — no sampling variance, no
+// redundant recomputation of shared neighborhoods.
+package infer
+
+import (
+	"fmt"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/core"
+	"wholegraph/internal/gnn"
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+	"wholegraph/internal/unique"
+	"wholegraph/internal/wholemem"
+)
+
+// Engine runs repeated full-graph inference over one store and model. The
+// per-layer shared embedding tables are allocated once at construction
+// (charging the one-time IPC setup, like the training store's §III-B
+// setup); each Run then only pays propagation.
+type Engine struct {
+	Store *core.Store
+	Model gnn.LayerwiseModel
+	// tables[l] holds the output embeddings of layer l, sharded like the
+	// node partition.
+	tables []*wholemem.Memory[float32]
+}
+
+// NewEngine validates the model against the store and allocates the
+// intermediate embedding tables.
+func NewEngine(store *core.Store, model gnn.LayerwiseModel) (*Engine, error) {
+	pg := store.PG
+	if pg.Feat == nil {
+		return nil, fmt.Errorf("infer: store has no node features")
+	}
+	cfg := model.Config()
+	if cfg.InDim != pg.Dim {
+		return nil, fmt.Errorf("infer: model input dim %d != feature dim %d", cfg.InDim, pg.Dim)
+	}
+	e := &Engine{Store: store, Model: model}
+	for l := 0; l < model.NumLayers(); l++ {
+		e.tables = append(e.tables,
+			wholemem.AllocSharded[float32](store.Comm, featShardSizes(pg, cfg.LayerOutDim(l))))
+	}
+	return e, nil
+}
+
+// FullGraph computes the model's final-layer output for every node of the
+// store's graph and returns it as an [N x classes] matrix in original node
+// ID order. It is NewEngine + Run; callers embedding repeatedly should keep
+// the Engine to amortize the table setup.
+func FullGraph(store *core.Store, model gnn.LayerwiseModel) (*tensor.Dense, error) {
+	e, err := NewEngine(store, model)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// Run performs one layer-wise propagation: each rank computes the rows of
+// its own hash partition, reading input embeddings (its nodes' full
+// neighborhoods) from the previous layer's shared table; ranks synchronize
+// between layers. All aggregation, gathers and scatters are charged to the
+// device clocks.
+func (e *Engine) Run() (*tensor.Dense, error) {
+	pg := e.Store.PG
+	model := e.Model
+	devs := e.Store.Comm.Devs
+
+	// Layer 0 reads the stored features; each subsequent layer reads the
+	// shared embedding table the previous layer wrote.
+	cur := pg.Feat
+	curDim := pg.Dim
+	for l := 0; l < model.NumLayers(); l++ {
+		last := l == model.NumLayers()-1
+		outDim := model.Config().LayerOutDim(l)
+		out := e.tables[l]
+		for r, dev := range devs {
+			blk, uniq := rankBlock(dev, pg, r)
+			// Gather the block's input embeddings from the shared table.
+			rows := make([]int64, len(uniq))
+			for i, gid := range uniq {
+				rows[i] = pg.FeatRow(gid)
+			}
+			x := tensor.New(len(uniq), curDim)
+			cur.GatherRows(dev, rows, curDim, x.V, "infer.gather")
+
+			tp := autograd.NewTape()
+			model.Params().Bind(tp)
+			y := model.ForwardLayer(dev, l, blk, tp.Const(x), last, false)
+
+			// Scatter the rank's rows into the next shared table; local
+			// rows are contiguous, so this is a streaming store.
+			outRows := make([]int64, blk.NumTargets)
+			base := pg.FeatRow(graph.MakeGlobalID(r, 0))
+			for i := range outRows {
+				outRows[i] = base + int64(i)
+			}
+			out.ScatterRows(dev, outRows, outDim, y.Value.V, "infer.scatter")
+		}
+		sim.Barrier(devs)
+		cur = out
+		curDim = outDim
+	}
+
+	// Collect into original node-ID order on the host.
+	res := tensor.New(int(pg.N), curDim)
+	buf := make([]float32, curDim)
+	for v := int64(0); v < pg.N; v++ {
+		row := pg.FeatRow(pg.Owner[v])
+		for j := 0; j < curDim; j++ {
+			buf[j] = cur.Get(row*int64(curDim) + int64(j))
+		}
+		copy(res.Row(int(v)), buf)
+	}
+	return res, nil
+}
+
+// featShardSizes returns per-rank element counts for an [N x dim] embedding
+// table sharded like the node partition.
+func featShardSizes(pg *graph.Partitioned, dim int) []int64 {
+	sizes := make([]int64, pg.Comm.Size())
+	for r := range sizes {
+		sizes[r] = pg.LocalCount(r) * int64(dim)
+	}
+	return sizes
+}
+
+// rankBlock builds the full-neighborhood block of rank r: targets are the
+// rank's local nodes in local order, neighbors are their complete edge
+// lists, deduplicated with AppendUnique so the block indexes a compact
+// input set.
+func rankBlock(dev *sim.Device, pg *graph.Partitioned, r int) (*spops.SubCSR, []graph.GlobalID) {
+	localN := pg.LocalCount(r)
+	targets := make([]graph.GlobalID, localN)
+	for i := int64(0); i < localN; i++ {
+		targets[i] = graph.MakeGlobalID(r, i)
+	}
+	rp := pg.RowPtr.Shard(r)
+	colShard := pg.Col.Shard(r)
+	neighbors := make([]graph.GlobalID, len(colShard))
+	for i, c := range colShard {
+		neighbors[i] = graph.GlobalID(c)
+	}
+	uq := unique.AppendUnique(dev, targets, neighbors)
+	blk := &spops.SubCSR{
+		NumTargets: int(localN),
+		NumNodes:   len(uq.Unique),
+		RowPtr:     append([]int64(nil), rp...),
+		Col:        uq.NeighborSubID,
+		DupCount:   uq.DupCount,
+	}
+	return blk, uq.Unique
+}

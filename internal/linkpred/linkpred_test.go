@@ -1,0 +1,108 @@
+package linkpred
+
+import (
+	"testing"
+
+	"wholegraph/internal/core"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Machine, *core.Store) {
+	t.Helper()
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds, err := dataset.Generate(dataset.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewStore(m, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	return m, s
+}
+
+func TestSamplePairs(t *testing.T) {
+	m, s := setup(t)
+	tr, err := New(s, m.Devs[0], Options{EdgeBatch: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tr.samplePairs(32)
+	if len(b.labels) != 64 || len(b.u) != 64 || len(b.v) != 64 {
+		t.Fatalf("pair counts: %d labels", len(b.labels))
+	}
+	g := s.DS.Graph
+	for i := range b.labels {
+		u, v := b.nodes[b.u[i]], b.nodes[b.v[i]]
+		has := false
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				has = true
+			}
+		}
+		if b.labels[i] == 1 && !has {
+			t.Fatalf("positive pair (%d,%d) is not an edge", u, v)
+		}
+		if b.labels[i] == 0 && has {
+			t.Fatalf("negative pair (%d,%d) is an edge", u, v)
+		}
+	}
+	// Endpoint list is deduplicated.
+	seen := map[int64]bool{}
+	for _, v := range b.nodes {
+		if seen[v] {
+			t.Fatal("duplicate endpoint in node list")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSearchRow(t *testing.T) {
+	rowptr := []int64{0, 3, 3, 7, 10}
+	cases := map[int64]int64{0: 0, 2: 0, 3: 2, 6: 2, 7: 3, 9: 3}
+	for e, want := range cases {
+		if got := searchRow(rowptr, e); got != want {
+			t.Errorf("searchRow(%d) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestLinkPredictionLearns(t *testing.T) {
+	m, s := setup(t)
+	tr, err := New(s, m.Devs[0], Options{EdgeBatch: 64, Fanouts: []int{4, 4}, Dim: 16, LR: 0.02, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.EvalAUC(256)
+	first := tr.TrainStep()
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = tr.TrainStep()
+	}
+	after := tr.EvalAUC(256)
+	if last >= first {
+		t.Errorf("BCE loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if after <= before {
+		t.Errorf("AUC did not improve: %.3f -> %.3f", before, after)
+	}
+	if after < 0.7 {
+		t.Errorf("final AUC %.3f too low (started at %.3f)", after, before)
+	}
+	if m.MaxTime() == 0 {
+		t.Error("training charged nothing")
+	}
+}
+
+func TestNewRejectsFeaturelessStore(t *testing.T) {
+	m, s := setup(t)
+	s2 := *s
+	pg := *s.PG
+	pg.Feat = nil
+	s2.PG = &pg
+	if _, err := New(&s2, m.Devs[0], Options{}); err == nil {
+		t.Error("featureless store accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package nccl provides data-carrying simulated collectives: the real
+// buffers are exchanged/reduced in host memory while the cost of the
+// corresponding NCCL operation is charged to the participating simulated
+// devices. WholeGraph itself needs only AllReduce (multi-node data-parallel
+// gradient sync, §III-D); AlltoAllv and AllGather exist for the
+// distributed-memory gather baseline of Figure 4/10.
+package nccl
+
+import (
+	"fmt"
+
+	"wholegraph/internal/sim"
+)
+
+// AllReduceMean averages the per-device buffers elementwise, leaving the
+// mean in every buffer, and charges a ring AllReduce over the devices.
+// All buffers must have equal length.
+func AllReduceMean(devs []*sim.Device, bufs [][]float32) {
+	if len(devs) != len(bufs) {
+		panic(fmt.Sprintf("nccl: %d devices, %d buffers", len(devs), len(bufs)))
+	}
+	if len(bufs) == 0 {
+		return
+	}
+	n := len(bufs[0])
+	for i, b := range bufs {
+		if len(b) != n {
+			panic(fmt.Sprintf("nccl: buffer %d has %d elements, want %d", i, len(b), n))
+		}
+	}
+	sum := make([]float64, n)
+	for _, b := range bufs {
+		for i, v := range b {
+			sum[i] += float64(v)
+		}
+	}
+	inv := 1 / float64(len(bufs))
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = float32(sum[i] * inv)
+		}
+	}
+	sim.AllReduceBytes(devs, float64(4*n))
+}
+
+// AllReduceMeanHierarchical is AllReduceMean across a whole (possibly
+// multi-node) machine, charged with the NVLink+InfiniBand hierarchical ring.
+func AllReduceMeanHierarchical(m *sim.Machine, bufs [][]float32) {
+	if len(bufs) != len(m.Devs) {
+		panic(fmt.Sprintf("nccl: %d buffers for %d devices", len(bufs), len(m.Devs)))
+	}
+	n := len(bufs[0])
+	sum := make([]float64, n)
+	for _, b := range bufs {
+		for i, v := range b {
+			sum[i] += float64(v)
+		}
+	}
+	inv := 1 / float64(len(bufs))
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = float32(sum[i] * inv)
+		}
+	}
+	sim.HierarchicalAllReduce(m, float64(4*n))
+}
+
+// AlltoAllv exchanges variable-length per-pair payloads: send[i][j] is what
+// device i sends to device j; the returned recv[j][i] holds it after the
+// exchange. elemBytes sizes the charged traffic.
+func AlltoAllv[T any](devs []*sim.Device, send [][][]T, elemBytes int) [][][]T {
+	n := len(devs)
+	if len(send) != n {
+		panic(fmt.Sprintf("nccl: send matrix has %d rows for %d devices", len(send), n))
+	}
+	bytes := make([][]float64, n)
+	recv := make([][][]T, n)
+	for i := range recv {
+		recv[i] = make([][]T, n)
+		bytes[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(send[i]) != n {
+			panic(fmt.Sprintf("nccl: send[%d] has %d columns", i, len(send[i])))
+		}
+		for j := 0; j < n; j++ {
+			recv[j][i] = send[i][j]
+			bytes[i][j] = float64(len(send[i][j]) * elemBytes)
+		}
+	}
+	sim.AlltoAllvBytes(devs, bytes)
+	return recv
+}
+
+// AllGather concatenates each device's shard in rank order on every device
+// and charges the ring AllGather.
+func AllGather[T any](devs []*sim.Device, shards [][]T, elemBytes int) [][]T {
+	if len(devs) != len(shards) {
+		panic(fmt.Sprintf("nccl: %d devices, %d shards", len(devs), len(shards)))
+	}
+	var all []T
+	maxShard := 0
+	for _, s := range shards {
+		all = append(all, s...)
+		if len(s) > maxShard {
+			maxShard = len(s)
+		}
+	}
+	out := make([][]T, len(devs))
+	for i := range out {
+		out[i] = append([]T(nil), all...)
+	}
+	sim.AllGatherBytes(devs, float64(maxShard*elemBytes))
+	return out
+}

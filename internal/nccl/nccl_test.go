@@ -1,0 +1,92 @@
+package nccl
+
+import (
+	"math"
+	"testing"
+
+	"wholegraph/internal/sim"
+)
+
+func TestAllReduceMean(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	devs := m.NodeDevs(0)[:4]
+	bufs := [][]float32{
+		{1, 2}, {3, 4}, {5, 6}, {7, 8},
+	}
+	AllReduceMean(devs, bufs)
+	for i, b := range bufs {
+		if b[0] != 4 || b[1] != 5 {
+			t.Fatalf("buffer %d = %v, want [4 5]", i, b)
+		}
+	}
+	if m.MaxTime() == 0 {
+		t.Error("allreduce charged nothing")
+	}
+	for _, d := range devs {
+		if d.Now() != devs[0].Now() {
+			t.Error("devices not synchronized after allreduce")
+		}
+	}
+}
+
+func TestAllReduceMeanHierarchical(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(2))
+	bufs := make([][]float32, 16)
+	for i := range bufs {
+		bufs[i] = []float32{float32(i)}
+	}
+	AllReduceMeanHierarchical(m, bufs)
+	want := float32(7.5)
+	for i, b := range bufs {
+		if math.Abs(float64(b[0]-want)) > 1e-6 {
+			t.Fatalf("buffer %d = %v, want %v", i, b[0], want)
+		}
+	}
+	if m.MaxTime() == 0 {
+		t.Error("hierarchical allreduce charged nothing")
+	}
+}
+
+func TestAllReduceMismatchPanics(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched buffers did not panic")
+		}
+	}()
+	AllReduceMean(m.NodeDevs(0)[:2], [][]float32{{1}, {1, 2}})
+}
+
+func TestAlltoAllv(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	devs := m.NodeDevs(0)[:3]
+	send := make([][][]int64, 3)
+	for i := range send {
+		send[i] = make([][]int64, 3)
+		for j := range send[i] {
+			send[i][j] = []int64{int64(10*i + j)}
+		}
+	}
+	recv := AlltoAllv(devs, send, 8)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			if len(recv[j][i]) != 1 || recv[j][i][0] != int64(10*i+j) {
+				t.Fatalf("recv[%d][%d] = %v", j, i, recv[j][i])
+			}
+		}
+	}
+	if m.MaxTime() == 0 {
+		t.Error("alltoallv charged nothing")
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	devs := m.NodeDevs(0)[:2]
+	out := AllGather(devs, [][]int64{{1, 2}, {3}}, 8)
+	for i := range out {
+		if len(out[i]) != 3 || out[i][0] != 1 || out[i][2] != 3 {
+			t.Fatalf("allgather out[%d] = %v", i, out[i])
+		}
+	}
+}

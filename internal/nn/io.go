@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Model checkpointing: parameters are serialized by name with their shapes
+// so a checkpoint can be reloaded into a freshly constructed model of the
+// same architecture (optimizer moments are not saved; fine-tuning restarts
+// Adam, as PyTorch state-dict loading commonly does too).
+
+const ckptMagic = "WGCK"
+
+// Save writes all parameters (name, shape, float32 data) to w.
+func (s *ParamSet) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.list))); err != nil {
+		return err
+	}
+	for _, p := range s.list {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.R)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.C)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.W.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save into this parameter set. Every
+// checkpoint entry must match a registered parameter's name and shape, and
+// every registered parameter must be present — architecture mismatches are
+// errors, not silent partial loads.
+func (s *ParamSet) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byName := make(map[string]*Param, len(s.list))
+	for _, p := range s.list {
+		byName[p.Name] = p
+	}
+	if int(count) != len(s.list) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(s.list))
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible parameter name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		p, ok := byName[string(name)]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in model", name)
+		}
+		if int(rows) != p.W.R || int(cols) != p.W.C {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, model has %dx%d",
+				name, rows, cols, p.W.R, p.W.C)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.W.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the checkpoint to path.
+func (s *ParamSet) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a checkpoint from path.
+func (s *ParamSet) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

@@ -1,0 +1,190 @@
+// Package nn provides the neural-network training substrate: named
+// trainable parameters, a Linear layer, the Adam optimizer, and helpers for
+// charging dense-layer costs to a simulated device. GNN-specific layers
+// live in internal/gnn; the sparse message-passing ops in internal/spops.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/tensor"
+)
+
+// Param is one trainable tensor plus its optimizer state.
+type Param struct {
+	Name string
+	W    *tensor.Dense
+
+	// cur is this iteration's tape variable; its Grad is consumed by the
+	// optimizer after Backward.
+	cur *autograd.Var
+	// Adam moments.
+	m, v *tensor.Dense
+}
+
+// ParamSet is the collection of a model's parameters.
+type ParamSet struct {
+	list []*Param
+}
+
+// New registers a parameter with the given name and initial value.
+func (s *ParamSet) New(name string, w *tensor.Dense) *Param {
+	p := &Param{Name: name, W: w, m: tensor.New(w.R, w.C), v: tensor.New(w.R, w.C)}
+	s.list = append(s.list, p)
+	return p
+}
+
+// Params returns the registered parameters in registration order.
+func (s *ParamSet) Params() []*Param { return s.list }
+
+// NumElements returns the total trainable element count.
+func (s *ParamSet) NumElements() int64 {
+	var n int64
+	for _, p := range s.list {
+		n += int64(len(p.W.V))
+	}
+	return n
+}
+
+// Bind creates fresh tape variables for every parameter at the start of an
+// iteration. It must be called once per tape before layers use Var.
+func (s *ParamSet) Bind(tp *autograd.Tape) {
+	for _, p := range s.list {
+		p.cur = tp.Param(p.W)
+	}
+}
+
+// Var returns the parameter's variable on the currently bound tape.
+func (p *Param) Var() *autograd.Var {
+	if p.cur == nil {
+		panic(fmt.Sprintf("nn: parameter %s used before Bind", p.Name))
+	}
+	return p.cur
+}
+
+// Grad returns this iteration's gradient, or nil if none flowed.
+func (p *Param) Grad() *tensor.Dense {
+	if p.cur == nil {
+		return nil
+	}
+	return p.cur.Grad
+}
+
+// Linear is a dense layer y = x*W + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear creates a Glorot-initialized Linear registered in s.
+func NewLinear(s *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		W: s.New(name+".W", tensor.Glorot(in, out, rng)),
+		B: s.New(name+".B", tensor.New(1, out)),
+	}
+}
+
+// Apply computes x*W + b on the tape and charges the forward+backward GEMM
+// cost to dev (which may be nil for pure computation).
+func (l *Linear) Apply(dev *sim.Device, x *autograd.Var) *autograd.Var {
+	ChargeLinear(dev, x.Value.R, l.In, l.Out)
+	return autograd.AddBias(autograd.MatMul(x, l.W.Var()), l.B.Var())
+}
+
+// ChargeLinear charges dev for a Linear of the given sizes: one forward
+// GEMM plus the two backward GEMMs (dX and dW). nil dev charges nothing.
+func ChargeLinear(dev *sim.Device, rows, in, out int) {
+	if dev == nil {
+		return
+	}
+	dev.Gemm(rows, out, in, "linear.fwd")
+	dev.Gemm(rows, in, out, "linear.bwd.dx")
+	dev.Gemm(in, out, rows, "linear.bwd.dw")
+}
+
+// ClipGradNorm rescales all gradients in s so their global L2 norm is at
+// most maxNorm, returning the pre-clip norm. A standard stabilizer for GAT
+// training; it is a no-op when the norm is already within bounds or when
+// maxNorm <= 0.
+func ClipGradNorm(s *ParamSet, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range s.Params() {
+		if g := p.Grad(); g != nil {
+			for _, v := range g.V {
+				sq += float64(v) * float64(v)
+			}
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := float32(maxNorm / norm)
+	for _, p := range s.Params() {
+		if g := p.Grad(); g != nil {
+			for i := range g.V {
+				g.V[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// ChargeElementwise charges dev a memory-bound elementwise pass over n
+// float32 elements (forward + backward), e.g. ReLU or dropout.
+func ChargeElementwise(dev *sim.Device, n int64) {
+	if dev == nil {
+		return
+	}
+	dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * n * 4), Tag: "eltwise"})
+}
+
+// Adam is the Adam optimizer over a ParamSet. A non-zero WeightDecay turns
+// it into AdamW (decoupled decay, applied directly to the weights).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+	t                     int
+}
+
+// NewAdam returns Adam with the standard defaults and the given learning
+// rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update using each parameter's current gradient and
+// charges the (memory-bound) update kernels to dev. Parameters with no
+// gradient this iteration are skipped.
+func (a *Adam) Step(dev *sim.Device, s *ParamSet) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	var touched int64
+	for _, p := range s.Params() {
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		touched += int64(len(p.W.V))
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		decay := float32(a.LR * a.WeightDecay)
+		for i := range p.W.V {
+			gi := g.V[i]
+			p.m.V[i] = b1*p.m.V[i] + (1-b1)*gi
+			p.v.V[i] = b2*p.v.V[i] + (1-b2)*gi*gi
+			mh := float64(p.m.V[i]) / bc1
+			vh := float64(p.v.V[i]) / bc2
+			p.W.V[i] -= float32(a.LR*mh/(math.Sqrt(vh)+a.Eps)) + decay*p.W.V[i]
+		}
+	}
+	if dev != nil && touched > 0 {
+		// m, v, w reads + writes and g read: ~7 arrays touched.
+		dev.Kernel(sim.KernelCost{StreamBytes: float64(7 * 4 * touched), Tag: "adam"})
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace export: device timelines (the busy/idle intervals recorded
+// when Tracing is enabled) serialized in the Chrome Trace Event format, so
+// chrome://tracing or Perfetto can visualize what each simulated GPU did
+// during a run — the same way one would inspect an Nsight timeline on the
+// real system.
+
+// chromeEvent is one complete event ("ph":"X") in the trace file.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TsUs float64 `json:"ts"`
+	DUs  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace writes the recorded intervals of the given devices as a
+// Chrome Trace Event JSON array. Devices appear as threads of one process
+// per machine node; idle intervals are emitted in an "idle" category so the
+// viewer can filter them. Devices without tracing enabled contribute
+// nothing.
+func WriteChromeTrace(w io.Writer, devs []*Device) error {
+	var events []chromeEvent
+	for _, d := range devs {
+		for _, iv := range d.Trace() {
+			cat := "kernel"
+			name := iv.Tag
+			if !iv.Busy {
+				cat = "idle"
+				if name == "" {
+					name = "idle"
+				}
+			}
+			events = append(events, chromeEvent{
+				Name: name,
+				Cat:  cat,
+				Ph:   "X",
+				TsUs: iv.Start * 1e6,
+				DUs:  (iv.End - iv.Start) * 1e6,
+				PID:  d.Node,
+				TID:  d.Local,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("sim: writing chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package sim
+
+// Collective timing helpers. WholeGraph's distributed-memory baseline and
+// its multi-node data parallelism use NCCL collectives; these functions
+// charge their analytic cost models to the participating device clocks.
+// Formulas are the standard ring-algorithm costs used by NCCL.
+
+// nvlinkP2PTime is the time to move bytes between two GPUs of one node over
+// NVLink as one bulk message.
+func nvlinkP2PTime(m *Machine, bytes float64) float64 {
+	l := m.Cfg.Link
+	return l.P2PBaseLatency + bytes/(l.NVLinkUniGBs*1e9*0.9)
+}
+
+// ibTime is the time to move bytes between two nodes as one bulk message.
+func ibTime(m *Machine, bytes float64) float64 {
+	l := m.Cfg.Link
+	return l.IBLatency + bytes/(l.IBGBs*1e9*0.9)
+}
+
+// AllGatherBytes charges an AllGather where each device contributes bytes.
+// Ring algorithm: (n-1) steps each moving `bytes`.
+func AllGatherBytes(devs []*Device, bytes float64) float64 {
+	if len(devs) < 2 {
+		return 0
+	}
+	start := Barrier(devs)
+	m := devs[0].m
+	n := float64(len(devs))
+	dt := (n - 1) * nvlinkP2PTime(m, bytes)
+	for _, d := range devs {
+		d.busy(dt, "allgather")
+	}
+	return start + dt
+}
+
+// AllReduceBytes charges a ring AllReduce of a buffer of the given size over
+// the devices of one node: 2(n-1)/n * bytes cross each link.
+func AllReduceBytes(devs []*Device, bytes float64) float64 {
+	if len(devs) < 2 {
+		return 0
+	}
+	start := Barrier(devs)
+	m := devs[0].m
+	n := float64(len(devs))
+	steps := 2 * (n - 1)
+	dt := steps * nvlinkP2PTime(m, bytes/n)
+	for _, d := range devs {
+		d.busy(dt, "allreduce")
+	}
+	return start + dt
+}
+
+// HierarchicalAllReduce charges a gradient AllReduce across a multi-node
+// machine: intra-node ring reduce-scatter/allgather over NVLink plus an
+// inter-node ring over InfiniBand on the per-node shards.
+func HierarchicalAllReduce(m *Machine, bytes float64) float64 {
+	devs := m.Devs
+	start := Barrier(devs)
+	g := float64(m.Cfg.GPUsPerNode)
+	nodes := float64(m.Cfg.Nodes)
+	// Intra-node reduce-scatter + allgather.
+	intra := 2 * (g - 1) * nvlinkP2PTime(m, bytes/g)
+	dt := intra
+	if nodes > 1 {
+		// Inter-node ring allreduce on the node shard (bytes/g per GPU,
+		// one GPU per node drives each NIC pair; the shard is split over
+		// the node's NICs so the full IB bandwidth applies).
+		inter := 2 * (nodes - 1) * ibTime(m, bytes/(g*nodes))
+		dt += inter
+	}
+	for _, d := range devs {
+		d.busy(dt, "allreduce")
+	}
+	return start + dt
+}
+
+// SendRecv charges a point-to-point NCCL send/recv between two devices of
+// one node and returns the completion time. Both clocks advance together.
+func SendRecv(src, dst *Device, bytes float64) float64 {
+	t := src.now
+	if dst.now > t {
+		t = dst.now
+	}
+	src.IdleUntil(t)
+	dst.IdleUntil(t)
+	dt := nvlinkP2PTime(src.m, bytes)
+	src.busy(dt, "send")
+	dst.busy(dt, "recv")
+	return t + dt
+}
+
+// AlltoAllvBytes charges an AlltoAllv over the devices where sendBytes[i][j]
+// is the payload device i sends to device j. NCCL implements this as
+// pairwise exchanges; with NVSwitch every device's egress port is the
+// bottleneck, so the cost per device is its max of egress and ingress
+// volume at NVLink rate, plus per-peer latencies.
+func AlltoAllvBytes(devs []*Device, sendBytes [][]float64) float64 {
+	n := len(devs)
+	if n < 2 {
+		return 0
+	}
+	start := Barrier(devs)
+	m := devs[0].m
+	l := m.Cfg.Link
+	end := start
+	for i, d := range devs {
+		var egress, ingress float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			egress += sendBytes[i][j]
+			ingress += sendBytes[j][i]
+		}
+		vol := egress
+		if ingress > vol {
+			vol = ingress
+		}
+		dt := float64(n-1)*l.P2PBaseLatency + vol/(l.NVLinkUniGBs*1e9*0.9)
+		d.busy(dt, "alltoallv")
+		if d.now > end {
+			end = d.now
+		}
+	}
+	// AlltoAllv completes only when every peer is done.
+	for _, d := range devs {
+		d.IdleUntil(end)
+	}
+	return end
+}

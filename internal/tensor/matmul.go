@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// Matrix multiplication kernels. The i-k-j loop order with hoisted row
+// slices keeps the inner loop a streaming multiply-add, which is the best a
+// pure-Go single-threaded kernel can do; everything downstream (training
+// epochs, benchmarks) is sized with this throughput in mind.
+
+// MatMulInto sets dst = a [m x k] * b [k x n].
+func MatMulInto(dst, a, b *Dense) {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.C, b.R))
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: matmul dst %dx%d for %dx%d", dst.R, dst.C, a.R, b.C))
+	}
+	dst.Zero()
+	parallelRows(a.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMul returns a * b in a fresh matrix.
+func MatMul(a, b *Dense) *Dense {
+	dst := New(a.R, b.C)
+	MatMulInto(dst, a, b)
+	return dst
+}
+
+// MatMulTInto sets dst = a [m x k] * bᵀ where b is [n x k].
+func MatMulTInto(dst, a, b *Dense) {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: matmulT inner dims %d vs %d", a.C, b.C))
+	}
+	if dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("tensor: matmulT dst %dx%d for %dx%d", dst.R, dst.C, a.R, b.R))
+	}
+	parallelRows(a.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for j := 0; j < b.R; j++ {
+				br := b.Row(j)
+				var sum float32
+				for k, av := range ar {
+					sum += av * br[k]
+				}
+				dr[j] = sum
+			}
+		}
+	})
+}
+
+// TMatMulInto sets dst = aᵀ * b where a is [k x m] and b is [k x n];
+// dst is [m x n]. This is the weight-gradient kernel Xᵀ·dY.
+func TMatMulInto(dst, a, b *Dense) {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: tmatmul outer dims %d vs %d", a.R, b.R))
+	}
+	if dst.R != a.C || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: tmatmul dst %dx%d for %dx%d", dst.R, dst.C, a.C, b.C))
+	}
+	dst.Zero()
+	for k := 0; k < a.R; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ in a fresh matrix.
+func Transpose(a *Dense) *Dense {
+	dst := New(a.C, a.R)
+	for i := 0; i < a.R; i++ {
+		ar := a.Row(i)
+		for j, v := range ar {
+			dst.V[j*a.R+i] = v
+		}
+	}
+	return dst
+}

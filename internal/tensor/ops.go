@@ -1,0 +1,222 @@
+package tensor
+
+import "math"
+
+// ReLUInto sets dst = max(a, 0).
+func ReLUInto(dst, a *Dense) {
+	a.mustSameShape(dst, "relu")
+	for i, v := range a.V {
+		if v > 0 {
+			dst.V[i] = v
+		} else {
+			dst.V[i] = 0
+		}
+	}
+}
+
+// ReLUGradInto sets dst = grad where a > 0, else 0 (backward of ReLU).
+func ReLUGradInto(dst, a, grad *Dense) {
+	a.mustSameShape(grad, "relugrad")
+	a.mustSameShape(dst, "relugrad")
+	for i, v := range a.V {
+		if v > 0 {
+			dst.V[i] = grad.V[i]
+		} else {
+			dst.V[i] = 0
+		}
+	}
+}
+
+// LeakyReLU applies max(x, slope*x) elementwise to a scalar.
+func LeakyReLU(x, slope float32) float32 {
+	if x > 0 {
+		return x
+	}
+	return slope * x
+}
+
+// LeakyReLUGrad returns the derivative of LeakyReLU at x.
+func LeakyReLUGrad(x, slope float32) float32 {
+	if x > 0 {
+		return 1
+	}
+	return slope
+}
+
+// LogSoftmaxInto sets dst to the row-wise log-softmax of a (numerically
+// stable: subtract the row max).
+func LogSoftmaxInto(dst, a *Dense) {
+	a.mustSameShape(dst, "logsoftmax")
+	for i := 0; i < a.R; i++ {
+		ar, dr := a.Row(i), dst.Row(i)
+		maxv := ar[0]
+		for _, v := range ar[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range ar {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lse := float32(math.Log(sum)) + maxv
+		for j, v := range ar {
+			dr[j] = v - lse
+		}
+	}
+}
+
+// SoftmaxInto sets dst to the row-wise softmax of a.
+func SoftmaxInto(dst, a *Dense) {
+	LogSoftmaxInto(dst, a)
+	for i, v := range dst.V {
+		dst.V[i] = float32(math.Exp(float64(v)))
+	}
+}
+
+// CrossEntropy computes the mean negative log-likelihood of the labels
+// under row-wise softmax of logits, and, if grad is non-nil, writes the
+// gradient d(loss)/d(logits) = (softmax - onehot)/rows into grad. Rows with
+// label < 0 are ignored (unlabeled).
+func CrossEntropy(logits *Dense, labels []int32, grad *Dense) float64 {
+	if len(labels) != logits.R {
+		panic("tensor: label count mismatch")
+	}
+	ls := New(logits.R, logits.C)
+	LogSoftmaxInto(ls, logits)
+	var loss float64
+	n := 0
+	for i, lab := range labels {
+		if lab < 0 {
+			continue
+		}
+		n++
+		loss -= float64(ls.Row(i)[lab])
+	}
+	if n == 0 {
+		if grad != nil {
+			grad.Zero()
+		}
+		return 0
+	}
+	if grad != nil {
+		grad.mustSameShape(logits, "crossentropy")
+		inv := float32(1.0 / float64(n))
+		for i, lab := range labels {
+			gr := grad.Row(i)
+			if lab < 0 {
+				for j := range gr {
+					gr[j] = 0
+				}
+				continue
+			}
+			lr := ls.Row(i)
+			for j := range gr {
+				gr[j] = float32(math.Exp(float64(lr[j]))) * inv
+			}
+			gr[lab] -= inv
+		}
+	}
+	return loss / float64(n)
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label,
+// ignoring rows with label < 0.
+func Accuracy(logits *Dense, labels []int32) float64 {
+	correct, n := 0, 0
+	for i, lab := range labels {
+		if lab < 0 {
+			continue
+		}
+		n++
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == lab {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(correct) / float64(n)
+}
+
+// DropoutInto zeroes each element of a with probability p and scales the
+// survivors by 1/(1-p), recording the mask (0 or 1/(1-p)) for backward.
+// rng must not be nil when p > 0.
+func DropoutInto(dst, a, mask *Dense, p float32, rnd func() float32) {
+	a.mustSameShape(dst, "dropout")
+	a.mustSameShape(mask, "dropout")
+	if p <= 0 {
+		copy(dst.V, a.V)
+		for i := range mask.V {
+			mask.V[i] = 1
+		}
+		return
+	}
+	scale := 1 / (1 - p)
+	for i, v := range a.V {
+		if rnd() < p {
+			mask.V[i] = 0
+			dst.V[i] = 0
+		} else {
+			mask.V[i] = scale
+			dst.V[i] = v * scale
+		}
+	}
+}
+
+// BCEWithLogits computes the mean binary cross-entropy of labels (0 or 1)
+// under sigmoid(scores), where scores is an [n x 1] column. If grad is
+// non-nil it receives d(loss)/d(scores) = (sigmoid(s) - y)/n. The
+// log1p(exp(·)) form is numerically stable for large |s|.
+func BCEWithLogits(scores *Dense, labels []float32, grad *Dense) float64 {
+	if scores.C != 1 || len(labels) != scores.R {
+		panic("tensor: BCEWithLogits shape mismatch")
+	}
+	n := float64(scores.R)
+	var loss float64
+	for i, y := range labels {
+		s := float64(scores.V[i])
+		// loss_i = max(s,0) - s*y + log(1+exp(-|s|))
+		loss += math.Max(s, 0) - s*float64(y) + math.Log1p(math.Exp(-math.Abs(s)))
+		if grad != nil {
+			sig := 1 / (1 + math.Exp(-s))
+			grad.V[i] = float32((sig - float64(y)) / n)
+		}
+	}
+	return loss / n
+}
+
+// AUC estimates the area under the ROC curve for scores with binary labels
+// by exact pairwise comparison (ties count half).
+func AUC(scores []float64, labels []float32) float64 {
+	var pos, neg []float64
+	for i, y := range labels {
+		if y > 0.5 {
+			pos = append(pos, scores[i])
+		} else {
+			neg = append(neg, scores[i])
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0.5
+	}
+	var wins float64
+	for _, p := range pos {
+		for _, q := range neg {
+			switch {
+			case p > q:
+				wins++
+			case p == q:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg))
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Host-side parallelism for the row-independent kernels. Output rows of a
+// matrix product are independent, so splitting them across goroutines
+// changes nothing numerically — results are bit-identical to the serial
+// path. The worker count defaults to GOMAXPROCS and can be pinned for
+// reproducible benchmarking.
+
+var numWorkers int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetWorkers sets the number of goroutines row-parallel kernels may use
+// (minimum 1) and returns the previous setting.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(atomic.SwapInt64(&numWorkers, int64(n)))
+}
+
+// Workers returns the current worker count.
+func Workers() int { return int(atomic.LoadInt64(&numWorkers)) }
+
+// parallelRows invokes f over disjoint [lo, hi) row ranges covering [0, n),
+// in parallel when both the worker count and the row count warrant it.
+func parallelRows(n int, f func(lo, hi int)) {
+	w := Workers()
+	// Tiny matrices are not worth the goroutine round-trip.
+	if w <= 1 || n < 4*w {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

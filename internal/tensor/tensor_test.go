@@ -1,0 +1,398 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.V[i] != w {
+			t.Fatalf("c[%d] = %g, want %g", i, c.V[i], w)
+		}
+	}
+}
+
+func naiveMatMul(a, b *Dense) *Dense {
+	c := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			var s float64
+			for k := 0; k < a.C; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			c.Set(i, j, float32(s))
+		}
+	}
+	return c
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Randn(13, 17, 1, rng)
+	b := Randn(17, 11, 1, rng)
+	want := naiveMatMul(a, b)
+
+	got := MatMul(a, b)
+	for i := range want.V {
+		if !almostEq(float64(got.V[i]), float64(want.V[i]), 1e-4) {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, got.V[i], want.V[i])
+		}
+	}
+
+	// a * bT via MatMulT equals a * Transpose(b).
+	bt := Transpose(b) // [11 x 17]
+	got2 := New(13, 11)
+	MatMulTInto(got2, a, bt)
+	for i := range want.V {
+		if !almostEq(float64(got2.V[i]), float64(want.V[i]), 1e-4) {
+			t.Fatalf("MatMulT[%d] = %g, want %g", i, got2.V[i], want.V[i])
+		}
+	}
+
+	// aT * b via TMatMul equals Transpose(a) * b.
+	at := Transpose(a) // [17 x 13]
+	got3 := New(13, 11)
+	TMatMulInto(got3, at, b)
+	for i := range want.V {
+		if !almostEq(float64(got3.V[i]), float64(want.V[i]), 1e-4) {
+			t.Fatalf("TMatMul[%d] = %g, want %g", i, got3.V[i], want.V[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MatMul(a, b)
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		a := Randn(r, c, 1, rng)
+		tt := Transpose(Transpose(a))
+		if !a.SameShape(tt) {
+			return false
+		}
+		for i := range a.V {
+			if a.V[i] != tt.V[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, -2, 3, -4})
+	b := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	dst := New(2, 2)
+
+	AddInto(dst, a, b)
+	if dst.V[1] != 18 {
+		t.Errorf("add: %v", dst.V)
+	}
+	MulInto(dst, a, b)
+	if dst.V[3] != -160 {
+		t.Errorf("mul: %v", dst.V)
+	}
+	ScaleInto(dst, a, -1)
+	if dst.V[0] != -1 || dst.V[1] != 2 {
+		t.Errorf("scale: %v", dst.V)
+	}
+	AccumInto(dst, a)
+	if dst.V[0] != 0 {
+		t.Errorf("accum: %v", dst.V)
+	}
+
+	bias := FromSlice(1, 2, []float32{100, 200})
+	AddRowInto(dst, a, bias)
+	if dst.V[0] != 101 || dst.V[3] != 196 {
+		t.Errorf("addrow: %v", dst.V)
+	}
+
+	cs := New(1, 2)
+	ColSumInto(cs, a)
+	if cs.V[0] != 4 || cs.V[1] != -6 {
+		t.Errorf("colsum: %v", cs.V)
+	}
+
+	if a.MaxAbs() != 4 {
+		t.Errorf("maxabs = %g", a.MaxAbs())
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	dst := New(1, 4)
+	ReLUInto(dst, a)
+	want := []float32{0, 0, 2, 0}
+	for i, w := range want {
+		if dst.V[i] != w {
+			t.Fatalf("relu[%d] = %g", i, dst.V[i])
+		}
+	}
+	grad := FromSlice(1, 4, []float32{5, 6, 7, 8})
+	g := New(1, 4)
+	ReLUGradInto(g, a, grad)
+	wantg := []float32{0, 0, 7, 0}
+	for i, w := range wantg {
+		if g.V[i] != w {
+			t.Fatalf("relugrad[%d] = %g", i, g.V[i])
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	if LeakyReLU(2, 0.2) != 2 || LeakyReLU(-2, 0.2) != -0.4 {
+		t.Error("leakyrelu values wrong")
+	}
+	if LeakyReLUGrad(2, 0.2) != 1 || LeakyReLUGrad(-2, 0.2) != 0.2 {
+		t.Error("leakyrelu grad wrong")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(5, 9, 10, rng) // large magnitudes stress stability
+	s := New(5, 9)
+	SoftmaxInto(s, a)
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for _, v := range s.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %g", v)
+			}
+			sum += float64(v)
+		}
+		if !almostEq(sum, 1, 1e-5) {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln 4.
+	logits := New(3, 4)
+	labels := []int32{0, 3, -1}
+	grad := New(3, 4)
+	loss := CrossEntropy(logits, labels, grad)
+	if !almostEq(loss, math.Log(4), 1e-6) {
+		t.Fatalf("loss = %g, want ln4", loss)
+	}
+	// Unlabeled row has zero grad.
+	for _, v := range grad.Row(2) {
+		if v != 0 {
+			t.Fatal("unlabeled row received gradient")
+		}
+	}
+	// Gradient rows sum to ~0 and the label entry is negative.
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for _, v := range grad.Row(i) {
+			sum += float64(v)
+		}
+		if !almostEq(sum, 0, 1e-6) {
+			t.Fatalf("grad row %d sums to %g", i, sum)
+		}
+		if grad.Row(i)[labels[i]] >= 0 {
+			t.Fatal("label gradient not negative")
+		}
+	}
+	// All-unlabeled batch.
+	if l := CrossEntropy(logits, []int32{-1, -1, -1}, grad); l != 0 {
+		t.Fatalf("all-unlabeled loss = %g", l)
+	}
+}
+
+func TestCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	logits := Randn(4, 6, 1, rng)
+	labels := []int32{1, 5, 0, 2}
+	grad := New(4, 6)
+	CrossEntropy(logits, labels, grad)
+	const eps = 1e-3
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			orig := logits.At(i, j)
+			logits.Set(i, j, orig+eps)
+			lp := CrossEntropy(logits, labels, nil)
+			logits.Set(i, j, orig-eps)
+			lm := CrossEntropy(logits, labels, nil)
+			logits.Set(i, j, orig)
+			num := (lp - lm) / (2 * eps)
+			if !almostEq(num, float64(grad.At(i, j)), 1e-3) {
+				t.Fatalf("grad(%d,%d) = %g, numeric %g", i, j, grad.At(i, j), num)
+			}
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := FromSlice(3, 2, []float32{1, 0, 0, 1, 1, 0})
+	if a := Accuracy(logits, []int32{0, 1, 1}); !almostEq(a, 2.0/3, 1e-9) {
+		t.Errorf("accuracy = %g", a)
+	}
+	if a := Accuracy(logits, []int32{-1, -1, -1}); a != 0 {
+		t.Errorf("all-unlabeled accuracy = %g", a)
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := New(10, 10)
+	for i := range a.V {
+		a.V[i] = 1
+	}
+	dst, mask := New(10, 10), New(10, 10)
+	DropoutInto(dst, a, mask, 0.5, rng.Float32)
+	zeros := 0
+	for i, v := range dst.V {
+		switch v {
+		case 0:
+			zeros++
+			if mask.V[i] != 0 {
+				t.Fatal("mask/value disagree")
+			}
+		case 2:
+			if mask.V[i] != 2 {
+				t.Fatal("mask/value disagree")
+			}
+		default:
+			t.Fatalf("unexpected dropout value %g", v)
+		}
+	}
+	if zeros < 25 || zeros > 75 {
+		t.Errorf("dropout kept %d of 100 at p=0.5", 100-zeros)
+	}
+	// p=0 is identity with unit mask.
+	DropoutInto(dst, a, mask, 0, nil)
+	for i := range dst.V {
+		if dst.V[i] != 1 || mask.V[i] != 1 {
+			t.Fatal("p=0 dropout not identity")
+		}
+	}
+}
+
+func TestGlorotScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Glorot(100, 100, rng)
+	var sum, sq float64
+	for _, v := range w.V {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	mean := sum / float64(len(w.V))
+	std := math.Sqrt(sq/float64(len(w.V)) - mean*mean)
+	want := math.Sqrt(2.0 / 200)
+	if math.Abs(std-want) > 0.01 {
+		t.Errorf("glorot std = %g, want %g", std, want)
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	// Zero scores: loss = ln 2, grad = (0.5 - y)/n.
+	s := New(4, 1)
+	labels := []float32{1, 0, 1, 0}
+	grad := New(4, 1)
+	loss := BCEWithLogits(s, labels, grad)
+	if !almostEq(loss, math.Log(2), 1e-9) {
+		t.Fatalf("loss = %g, want ln2", loss)
+	}
+	for i, y := range labels {
+		want := (0.5 - float64(y)) / 4
+		if !almostEq(float64(grad.V[i]), want, 1e-6) {
+			t.Fatalf("grad[%d] = %g, want %g", i, grad.V[i], want)
+		}
+	}
+	// Numeric gradient check on random scores.
+	rng := rand.New(rand.NewSource(2))
+	sc := Randn(6, 1, 2, rng)
+	lbl := []float32{1, 1, 0, 1, 0, 0}
+	g := New(6, 1)
+	BCEWithLogits(sc, lbl, g)
+	const eps = 1e-3
+	for i := range sc.V {
+		orig := sc.V[i]
+		sc.V[i] = orig + eps
+		lp := BCEWithLogits(sc, lbl, nil)
+		sc.V[i] = orig - eps
+		lm := BCEWithLogits(sc, lbl, nil)
+		sc.V[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if !almostEq(num, float64(g.V[i]), 1e-4) {
+			t.Fatalf("bce grad[%d] = %g, numeric %g", i, g.V[i], num)
+		}
+	}
+	// Stability at extreme logits.
+	ext := FromSlice(2, 1, []float32{80, -80})
+	if l := BCEWithLogits(ext, []float32{1, 0}, nil); math.IsNaN(l) || math.IsInf(l, 0) || l > 1e-6 {
+		t.Errorf("extreme-logit loss = %g", l)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if a := AUC([]float64{3, 4, 1, 2}, []float32{1, 1, 0, 0}); a != 1 {
+		t.Errorf("perfect AUC = %g", a)
+	}
+	// Inverted.
+	if a := AUC([]float64{1, 2, 3, 4}, []float32{1, 1, 0, 0}); a != 0 {
+		t.Errorf("inverted AUC = %g", a)
+	}
+	// All ties -> 0.5, one-class -> 0.5.
+	if a := AUC([]float64{1, 1, 1, 1}, []float32{1, 0, 1, 0}); a != 0.5 {
+		t.Errorf("tied AUC = %g", a)
+	}
+	if a := AUC([]float64{1, 2}, []float32{1, 1}); a != 0.5 {
+		t.Errorf("one-class AUC = %g", a)
+	}
+}
+
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := Randn(64, 33, 1, rng)
+	b := Randn(33, 17, 1, rng)
+
+	prev := SetWorkers(1)
+	serial := MatMul(a, b)
+	SetWorkers(8)
+	parallel := MatMul(a, b)
+	SetWorkers(prev)
+
+	// Row-splitting must be bit-identical to the serial path.
+	for i := range serial.V {
+		if serial.V[i] != parallel.V[i] {
+			t.Fatalf("parallel result differs at %d", i)
+		}
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	prev := SetWorkers(-3)
+	if Workers() != 1 {
+		t.Errorf("workers = %d, want clamp to 1", Workers())
+	}
+	SetWorkers(prev)
+	if Workers() != prev {
+		t.Errorf("workers = %d, want restored %d", Workers(), prev)
+	}
+}

@@ -1,0 +1,412 @@
+// Package train implements the WholeGraph training pipeline of §III: every
+// GPU runs one data-parallel worker that samples on-GPU, deduplicates with
+// AppendUnique, gathers features through distributed shared memory, trains
+// its model replica, and synchronizes gradients with an AllReduce
+// (hierarchical NVLink + InfiniBand for multi-node, §III-D).
+//
+// To keep host cost manageable, the simulation executes a configurable
+// number of representative workers for real (default 1) and mirrors their
+// measured per-iteration time onto the remaining devices; collectives are
+// charged over the full machine. Epoch times and phase breakdowns are
+// virtual seconds.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/core"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/gnn"
+	"wholegraph/internal/nn"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+)
+
+// Options configures a training run. Zero values take paper defaults via
+// Normalize.
+type Options struct {
+	Arch    string // "gcn", "graphsage", "gat"
+	Batch   int
+	Fanouts []int
+	Hidden  int
+	Heads   int
+	Dropout float32
+	LR      float64
+	// WeightDecay enables AdamW-style decoupled decay when non-zero.
+	WeightDecay float64
+	// ClipNorm clips the global gradient norm per step when positive.
+	ClipNorm float64
+	Backend  spops.Backend
+	Seed     int64
+	// RealWorkers is how many data-parallel workers execute for real per
+	// node; the rest mirror their timing.
+	RealWorkers int
+	// MaxItersPerEpoch caps the measured iterations per epoch (0 = full
+	// epoch); the epoch time is extrapolated from the measured mean.
+	MaxItersPerEpoch int
+	// Trace enables busy/idle interval recording on worker 0's device.
+	Trace bool
+}
+
+// Normalize fills defaults (paper's §IV settings scaled only where the
+// caller overrides them).
+func (o Options) Normalize() Options {
+	if o.Arch == "" {
+		o.Arch = "graphsage"
+	}
+	if o.Batch == 0 {
+		o.Batch = 512
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{30, 30, 30}
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 256
+	}
+	if o.Heads == 0 {
+		o.Heads = 4
+	}
+	if o.LR == 0 {
+		o.LR = 0.003
+	}
+	if o.RealWorkers == 0 {
+		o.RealWorkers = 1
+	}
+	return o
+}
+
+// EpochStats reports one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	Iters     int     // iterations per worker this epoch
+	EpochTime float64 // virtual seconds, max across devices
+	Timing    core.Timing
+	Loss      float64 // mean training loss
+	TrainAcc  float64 // mean training batch accuracy
+}
+
+// BatchLoader produces training batches for one worker device. The
+// WholeGraph pipeline uses core.Loader; the host-memory baselines use
+// their own loaders (internal/baseline).
+type BatchLoader interface {
+	// BuildBatch samples, deduplicates and gathers the batch for the given
+	// target nodes (original IDs), charging whatever executors it uses.
+	BuildBatch(targets []int64) (*gnn.Batch, core.Timing)
+	// Device is the GPU the worker trains on.
+	Device() *sim.Device
+}
+
+// Trainer is the data-parallel trainer over a simulated machine. With the
+// WholeGraph loader each machine node holds one replica of the graph store
+// (§III-D); with a baseline loader the graph lives in host memory.
+type Trainer struct {
+	Machine *sim.Machine
+	Opts    Options
+	Stores  []*core.Store // one per node; nil for baseline pipelines
+	Models  []gnn.Model   // one per real worker
+	Opts4   []*nn.Adam    // optimizer per real worker
+	ds      *dataset.Dataset
+	loaders []BatchLoader
+	shards  [][]int64 // training shard per worker slot (all devices)
+	rng     *rand.Rand
+	epoch   int
+}
+
+// New builds a WholeGraph trainer: it partitions the store onto every node
+// (charging setup) and instantiates identical model replicas.
+func New(m *sim.Machine, ds *dataset.Dataset, opts Options) (*Trainer, error) {
+	opts = opts.Normalize()
+	var stores []*core.Store
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		s, err := core.NewStore(m, n, ds)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	t, err := NewCustom(m, ds, opts, func(w int, dev *sim.Device) BatchLoader {
+		return core.NewLoader(stores[0], dev, opts.Fanouts, opts.Seed+int64(w))
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Stores = stores
+	return t, nil
+}
+
+// NewCustom builds a trainer whose batches come from mkLoader (one loader
+// per real worker). It is the extension point the baseline pipelines use.
+func NewCustom(m *sim.Machine, ds *dataset.Dataset, opts Options,
+	mkLoader func(w int, dev *sim.Device) BatchLoader) (*Trainer, error) {
+	opts = opts.Normalize()
+	t := &Trainer{Machine: m, Opts: opts, ds: ds, rng: rand.New(rand.NewSource(opts.Seed))}
+	cfg := gnn.Config{
+		InDim:   ds.Spec.FeatDim,
+		Hidden:  opts.Hidden,
+		Classes: ds.Spec.NumClasses,
+		Layers:  len(opts.Fanouts),
+		Heads:   opts.Heads,
+		Dropout: opts.Dropout,
+		Backend: opts.Backend,
+		Seed:    opts.Seed,
+	}
+	totalWorkers := len(m.Devs)
+	t.shards = core.ShardTraining(ds.Train, totalWorkers)
+	if opts.RealWorkers > m.Cfg.GPUsPerNode {
+		return nil, fmt.Errorf("train: RealWorkers %d > GPUs per node %d", opts.RealWorkers, m.Cfg.GPUsPerNode)
+	}
+	for w := 0; w < opts.RealWorkers; w++ {
+		t.Models = append(t.Models, gnn.New(opts.Arch, cfg))
+		opt := nn.NewAdam(opts.LR)
+		opt.WeightDecay = opts.WeightDecay
+		t.Opts4 = append(t.Opts4, opt)
+		dev := m.NodeDevs(0)[w]
+		if opts.Trace && w == 0 {
+			dev.Tracing = true
+		}
+		t.loaders = append(t.loaders, mkLoader(w, dev))
+	}
+	return t, nil
+}
+
+// Dataset returns the training dataset.
+func (t *Trainer) Dataset() *dataset.Dataset { return t.ds }
+
+// ItersPerEpoch returns the iteration count each worker runs per epoch.
+func (t *Trainer) ItersPerEpoch() int {
+	shard := len(t.shards[0])
+	b := t.Opts.Batch
+	return (shard + b - 1) / b
+}
+
+// Step runs forward/backward/optimizer for one worker on one batch and
+// returns (loss, accuracy). All compute is charged to the worker's device.
+func Step(model gnn.Model, opt *nn.Adam, dev *sim.Device, b *gnn.Batch, train bool) (float64, float64) {
+	tp := autograd.NewTape()
+	logits := model.Forward(dev, tp, b, train)
+	grad := tensor.New(logits.Value.R, logits.Value.C)
+	loss := tensor.CrossEntropy(logits.Value, b.Labels, grad)
+	acc := tensor.Accuracy(logits.Value, b.Labels)
+	if train {
+		tp.Backward(logits, grad)
+		opt.Step(dev, model.Params())
+	}
+	return loss, acc
+}
+
+// averageGradients replicates data-parallel gradient averaging across the
+// real workers (pure math) and charges one full-machine hierarchical
+// AllReduce for the model's gradient bytes.
+func (t *Trainer) averageGradients() {
+	if len(t.Models) > 1 {
+		params := make([][]*nn.Param, len(t.Models))
+		for w, mdl := range t.Models {
+			params[w] = mdl.Params().Params()
+		}
+		for pi := range params[0] {
+			var sum *tensor.Dense
+			n := 0
+			for w := range params {
+				g := params[w][pi].Grad()
+				if g == nil {
+					continue
+				}
+				if sum == nil {
+					sum = g.Clone()
+				} else {
+					tensor.AccumInto(sum, g)
+				}
+				n++
+			}
+			if sum == nil {
+				continue
+			}
+			tensor.ScaleInto(sum, sum, 1/float32(n))
+			for w := range params {
+				if g := params[w][pi].Grad(); g != nil {
+					copy(g.V, sum.V)
+				}
+			}
+		}
+	}
+	bytes := float64(4 * t.Models[0].Params().NumElements())
+	sim.HierarchicalAllReduce(t.Machine, bytes)
+}
+
+// RunEpoch trains one epoch and returns its statistics. Per iteration, each
+// real worker builds and trains on its own batch; mirror devices are
+// advanced by the real workers' mean busy time so machine-level clocks and
+// the AllReduce barrier behave as with a full worker set.
+func (t *Trainer) RunEpoch() EpochStats {
+	t.epoch++
+	stats := EpochStats{Epoch: t.epoch}
+	iters := t.ItersPerEpoch()
+	measured := iters
+	if t.Opts.MaxItersPerEpoch > 0 && measured > t.Opts.MaxItersPerEpoch {
+		measured = t.Opts.MaxItersPerEpoch
+	}
+	start := t.Machine.MaxTime()
+	batches := make([][][]int64, len(t.Models))
+	for w := range t.Models {
+		batches[w] = core.EpochBatches(t.shards[w], t.Opts.Batch, t.rng)
+	}
+
+	var lossSum, accSum float64
+	timings := make([]core.Timing, len(t.Models))
+	trainStart := make([]float64, len(t.Models))
+	for it := 0; it < measured; it++ {
+		iterStart := t.Machine.MaxTime()
+		// Forward + backward on every real worker.
+		for w, mdl := range t.Models {
+			dev := t.loaders[w].Device()
+			bIDs := batches[w][it%len(batches[w])]
+			b, tm := t.loaders[w].BuildBatch(bIDs)
+			timings[w] = tm
+			trainStart[w] = dev.Now()
+			tp := autograd.NewTape()
+			logits := mdl.Forward(dev, tp, b, true)
+			grad := tensor.New(logits.Value.R, logits.Value.C)
+			lossSum += tensor.CrossEntropy(logits.Value, b.Labels, grad)
+			accSum += tensor.Accuracy(logits.Value, b.Labels)
+			tp.Backward(logits, grad)
+		}
+		// Mirror the real workers' busy time onto the non-real devices so
+		// the AllReduce barrier sees a realistic arrival pattern.
+		var busiest float64
+		for w := range t.Models {
+			if busy := t.loaders[w].Device().Now() - iterStart; busy > busiest {
+				busiest = busy
+			}
+		}
+		for _, dev := range t.Machine.Devs {
+			if t.isRealWorker(dev) {
+				continue
+			}
+			dev.Kernel(sim.KernelCost{
+				FLOPs: busiest * t.Machine.Cfg.Device.FP32TFLOPS * 1e12 * t.Machine.Cfg.Device.GemmEff,
+				Tag:   "mirror",
+			})
+		}
+		// Data parallelism: average gradients across replicas, then every
+		// worker takes the identical optimizer step.
+		t.averageGradients()
+		for w, mdl := range t.Models {
+			dev := t.loaders[w].Device()
+			if t.Opts.ClipNorm > 0 {
+				nn.ClipGradNorm(mdl.Params(), t.Opts.ClipNorm)
+			}
+			t.Opts4[w].Step(dev, mdl.Params())
+			timings[w].Train += dev.Now() - trainStart[w]
+			stats.Timing.Add(timings[w])
+		}
+	}
+	stats.Iters = iters
+	stats.Loss = lossSum / float64(measured*len(t.Models))
+	stats.TrainAcc = accSum / float64(measured*len(t.Models))
+	elapsed := t.Machine.MaxTime() - start
+	// Extrapolate to the full epoch when iterations were capped, and
+	// normalize the phase breakdown to a per-worker view comparable with
+	// the epoch time.
+	scale := float64(iters) / float64(measured) / float64(len(t.Models))
+	stats.EpochTime = elapsed * float64(iters) / float64(measured)
+	stats.Timing.Sample *= scale
+	stats.Timing.Gather *= scale
+	stats.Timing.Train *= scale
+	return stats
+}
+
+func (t *Trainer) isRealWorker(dev *sim.Device) bool {
+	for _, ld := range t.loaders {
+		if ld.Device() == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate measures accuracy on up to maxNodes of the given split using
+// worker 0's model and sampled inference (no dropout), charged to the
+// worker's device. Epoch statistics are measured as deltas, so interleaving
+// evaluation between epochs does not distort them.
+func (t *Trainer) Evaluate(ids []int64, maxNodes int) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	if maxNodes > 0 && len(ids) > maxNodes {
+		ids = ids[:maxNodes]
+	}
+	model := t.Models[0]
+	dev := t.loaders[0].Device()
+	var correct, total float64
+	for off := 0; off < len(ids); off += t.Opts.Batch {
+		end := off + t.Opts.Batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		b, _ := t.loaders[0].BuildBatch(ids[off:end])
+		tp := autograd.NewTape()
+		logits := model.Forward(dev, tp, b, false)
+		correct += tensor.Accuracy(logits.Value, b.Labels) * float64(end-off)
+		total += float64(end - off)
+	}
+	return correct / total
+}
+
+// EvaluateWithLabels measures accuracy over the given nodes against
+// caller-provided ground-truth labels (the synthetic datasets know every
+// node's true class, which gives the harness a lower-variance estimate
+// than the small held-out splits of a scaled graph).
+func (t *Trainer) EvaluateWithLabels(ids []int64, labels []int32) float64 {
+	if len(ids) != len(labels) {
+		panic(fmt.Sprintf("train: %d ids, %d labels", len(ids), len(labels)))
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	model := t.Models[0]
+	dev := t.loaders[0].Device()
+	var correct, total float64
+	for off := 0; off < len(ids); off += t.Opts.Batch {
+		end := off + t.Opts.Batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		b, _ := t.loaders[0].BuildBatch(ids[off:end])
+		tp := autograd.NewTape()
+		logits := model.Forward(dev, tp, b, false)
+		correct += tensor.Accuracy(logits.Value, labels[off:end]) * float64(end-off)
+		total += float64(end - off)
+	}
+	return correct / total
+}
+
+// Predict returns the model's output vectors (logit rows) for the given
+// nodes, running sampled inference in evaluation mode on worker 0. Output
+// row i corresponds to ids[i]. Downstream tasks such as link prediction use
+// the rows as node embeddings.
+func (t *Trainer) Predict(ids []int64) [][]float32 {
+	out := make([][]float32, 0, len(ids))
+	model := t.Models[0]
+	dev := t.loaders[0].Device()
+	for off := 0; off < len(ids); off += t.Opts.Batch {
+		end := off + t.Opts.Batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		b, _ := t.loaders[0].BuildBatch(ids[off:end])
+		tp := autograd.NewTape()
+		logits := model.Forward(dev, tp, b, false)
+		for i := 0; i < logits.Value.R; i++ {
+			row := make([]float32, logits.Value.C)
+			copy(row, logits.Value.Row(i))
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Worker0Device returns the traced device of the first real worker.
+func (t *Trainer) Worker0Device() *sim.Device { return t.loaders[0].Device() }

@@ -1,0 +1,216 @@
+package train
+
+import (
+	"testing"
+
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/sim"
+)
+
+func smallOpts(arch string) Options {
+	return Options{
+		Arch: arch, Batch: 32, Fanouts: []int{4, 4},
+		Hidden: 16, Heads: 2, Dropout: 0.2, LR: 0.01, Seed: 5,
+	}
+}
+
+func smallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.Arch != "graphsage" || o.Batch != 512 || len(o.Fanouts) != 3 ||
+		o.Fanouts[0] != 30 || o.Hidden != 256 || o.Heads != 4 || o.RealWorkers != 1 {
+		t.Errorf("paper defaults drifted: %+v", o)
+	}
+}
+
+func TestRunEpochStats(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	tr, err := New(m, ds, smallOpts("graphsage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.RunEpoch()
+	if st.Epoch != 1 || st.Iters != tr.ItersPerEpoch() || st.Iters == 0 {
+		t.Errorf("epoch bookkeeping wrong: %+v", st)
+	}
+	if st.EpochTime <= 0 {
+		t.Error("epoch time not positive")
+	}
+	if st.Timing.Sample <= 0 || st.Timing.Gather <= 0 || st.Timing.Train <= 0 {
+		t.Errorf("phase breakdown incomplete: %+v", st.Timing)
+	}
+	if st.Timing.Total() > st.EpochTime*1.05 {
+		t.Errorf("worker breakdown %.4g exceeds epoch time %.4g", st.Timing.Total(), st.EpochTime)
+	}
+	// WholeGraph's signature: training dominates, sampling+gathering are
+	// the minority (Figure 9, right bars).
+	if st.Timing.Sample+st.Timing.Gather > st.Timing.Train {
+		t.Errorf("sample+gather (%g) should be below train (%g) for WholeGraph",
+			st.Timing.Sample+st.Timing.Gather, st.Timing.Train)
+	}
+}
+
+func TestTrainingLearns(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("gcn")
+	opts.LR = 0.02
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.RunEpoch()
+	var last EpochStats
+	for e := 0; e < 30; e++ {
+		last = tr.RunEpoch()
+	}
+	if last.Loss >= first.Loss {
+		t.Errorf("loss did not decrease: %.3f -> %.3f", first.Loss, last.Loss)
+	}
+	if last.TrainAcc <= first.TrainAcc {
+		t.Errorf("train accuracy did not improve: %.3f -> %.3f", first.TrainAcc, last.TrainAcc)
+	}
+	// Validation accuracy should clear the random baseline (1/47).
+	val := tr.Evaluate(ds.Val, 0)
+	if val < 0.15 {
+		t.Errorf("validation accuracy %.3f barely above chance", val)
+	}
+}
+
+func TestMultiWorkerGradientSync(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("gcn")
+	opts.RealWorkers = 2
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunEpoch()
+	// After averaging + identical optimizer steps the replicas must agree.
+	p0 := tr.Models[0].Params().Params()
+	p1 := tr.Models[1].Params().Params()
+	for i := range p0 {
+		for j := range p0[i].W.V {
+			if p0[i].W.V[j] != p1[i].W.V[j] {
+				t.Fatalf("replicas diverged at param %s[%d]", p0[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestRealWorkersBounded(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("gcn")
+	opts.RealWorkers = 9
+	if _, err := New(m, ds, opts); err == nil {
+		t.Error("RealWorkers > GPUs accepted")
+	}
+}
+
+func TestMultiNodeScaling(t *testing.T) {
+	ds := smallDataset(t)
+	epoch := func(nodes int) float64 {
+		m := sim.NewMachine(sim.DGXA100(nodes))
+		opts := smallOpts("graphsage")
+		opts.Batch = 8 // more iterations so scaling is visible
+		tr, err := New(m, ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Reset() // exclude store setup
+		return tr.RunEpoch().EpochTime
+	}
+	t1 := epoch(1)
+	t4 := epoch(4)
+	if t4 >= t1 {
+		t.Errorf("4-node epoch (%g) not faster than 1-node (%g)", t4, t1)
+	}
+	// Near-linear: at least 2.2x speedup at 4 nodes on this small graph.
+	if t1/t4 < 2.2 {
+		t.Errorf("4-node speedup only %.2fx", t1/t4)
+	}
+}
+
+func TestMaxItersExtrapolates(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("gcn")
+	opts.Batch = 4 // many iterations
+	opts.MaxItersPerEpoch = 2
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.RunEpoch()
+	if st.Iters <= opts.MaxItersPerEpoch {
+		t.Fatalf("expected more iters (%d) than the cap", st.Iters)
+	}
+	if st.EpochTime <= 0 {
+		t.Error("extrapolated epoch time missing")
+	}
+}
+
+func TestTraceUtilizationHigh(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("graphsage")
+	opts.Trace = true
+	opts.Dropout = 0.5
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := tr.Worker0Device()
+	t0 := dev.Now()
+	for e := 0; e < 3; e++ {
+		tr.RunEpoch()
+	}
+	bf := sim.BusyFraction(dev.Trace(), t0, dev.Now())
+	// Figure 12: WholeGraph sustains >= 95% GPU utilization.
+	if bf < 0.95 {
+		t.Errorf("WholeGraph GPU utilization %.3f, want >= 0.95", bf)
+	}
+}
+
+func TestWeightedDatasetTrains(t *testing.T) {
+	// End-to-end with edge weights: the loader gathers per-edge weights
+	// (4-byte accesses) and the models aggregate with weighted means; the
+	// WholeGraph and DGL pipelines must agree on the block weights and
+	// both learn.
+	spec := dataset.OgbnProducts.Scaled(0.001)
+	spec.Weighted = true
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(sim.DGXA100(1))
+	opts := smallOpts("graphsage")
+	opts.LR = 0.02
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.RunEpoch()
+	var last EpochStats
+	for e := 0; e < 20; e++ {
+		last = tr.RunEpoch()
+	}
+	if last.Loss >= first.Loss {
+		t.Errorf("weighted training did not learn: %.3f -> %.3f", first.Loss, last.Loss)
+	}
+	// Edge-weight gathering shows up in the gather phase.
+	if last.Timing.Gather <= 0 {
+		t.Error("no gather time recorded")
+	}
+}

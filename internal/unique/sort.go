@@ -1,0 +1,87 @@
+package unique
+
+import (
+	"sort"
+
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+)
+
+// AppendUniqueSort is the sort-based deduplication the paper's hash-table
+// design replaces ("we adopt the hash table method instead of the sort
+// method used in other frameworks", §III-C2). It produces a Result with
+// identical semantics — targets first in order, each new neighbor once,
+// consistent sub-graph IDs, duplicate counts — but neighbor IDs are
+// assigned in sorted-value order rather than bucket order, and the cost is
+// a radix sort of the whole list plus two scans instead of hash probes.
+//
+// It exists as the ablation baseline for the AppendUnique benchmark; both
+// implementations are interchangeable in the loader.
+func AppendUniqueSort(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
+	res := &Result{
+		Unique:        make([]graph.GlobalID, len(targets), len(targets)+len(neighbors)),
+		NumTargets:    len(targets),
+		NeighborSubID: make([]int32, len(neighbors)),
+	}
+	targetID := make(map[graph.GlobalID]int32, len(targets))
+	for i, g := range targets {
+		if _, dup := targetID[g]; dup {
+			panic("unique: duplicate target")
+		}
+		targetID[g] = int32(i)
+		res.Unique[i] = g
+	}
+
+	// Sort (value, original position) pairs, as a GPU radix sort over
+	// packed keys would.
+	type kv struct {
+		key graph.GlobalID
+		pos int32
+	}
+	pairs := make([]kv, len(neighbors))
+	for i, g := range neighbors {
+		pairs[i] = kv{key: g, pos: int32(i)}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key != pairs[j].key {
+			return pairs[i].key < pairs[j].key
+		}
+		return pairs[i].pos < pairs[j].pos
+	})
+
+	// Scan runs: first occurrence of each value not already a target gets
+	// the next ID after the target prefix.
+	next := int32(len(targets))
+	for i := 0; i < len(pairs); {
+		j := i
+		key := pairs[i].key
+		for j < len(pairs) && pairs[j].key == key {
+			j++
+		}
+		id, isTarget := targetID[key]
+		if !isTarget {
+			id = next
+			next++
+			res.Unique = append(res.Unique, key)
+		}
+		for k := i; k < j; k++ {
+			res.NeighborSubID[pairs[k].pos] = id
+		}
+		i = j
+	}
+	res.DupCount = make([]int32, len(res.Unique))
+	for _, id := range res.NeighborSubID {
+		res.DupCount[id]++
+	}
+
+	if dev != nil {
+		n := float64(len(neighbors))
+		// LSD radix over 8-byte keys + 4-byte positions: 8 passes, each
+		// reading and writing 12 bytes per element, plus the output scans.
+		dev.Kernel(sim.KernelCost{
+			StreamBytes: 8*2*12*n + 2*12*n,
+			Tag:         "appendunique.sort",
+		})
+	}
+	return res
+}

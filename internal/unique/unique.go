@@ -1,0 +1,173 @@
+// Package unique implements the AppendUnique op of §III-C2: it appends
+// sampled neighbor nodes to the target-node list while removing duplicates,
+// producing the contiguous sub-graph IDs that the gathered feature matrix
+// and the CSR sub-graph are indexed by.
+//
+// Like the paper (which adapts the warpcore GPU hash table), duplicates are
+// eliminated with an open-addressing hash table rather than a sort: target
+// nodes are inserted first with their list index as value, neighbors are
+// inserted with value -1, then the -1 entries are counted per bucket, an
+// exclusive prefix sum over the bucket counts yields each bucket's first
+// neighbor ID, and neighbor IDs are assigned bucket-contiguously after the
+// targets. The op also emits the per-node duplicate count that the g-SpMM
+// backward uses to replace atomic adds with plain stores (§III-C4).
+package unique
+
+import (
+	"fmt"
+
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+)
+
+// bucketSlots is the number of hash-table slots per bucket for the
+// prefix-sum ID assignment (warpcore uses warp-sized groups; the exact
+// value only shifts constant factors).
+const bucketSlots = 128
+
+const emptyKey = ^uint64(0)
+
+// Result of an AppendUnique op.
+type Result struct {
+	// Unique lists the sub-graph's nodes: the targets first, in their
+	// original order, then each distinct new neighbor exactly once.
+	Unique []graph.GlobalID
+	// NumTargets is the length of the target prefix of Unique.
+	NumTargets int
+	// NeighborSubID maps each input neighbor position to its sub-graph ID
+	// (an index into Unique).
+	NeighborSubID []int32
+	// DupCount[id] is how many times Unique[id] was sampled as a neighbor;
+	// nodes sampled exactly once (or targets never sampled) allow the
+	// atomic-free backward store optimization.
+	DupCount []int32
+}
+
+// table is the GPU-style open-addressing hash table.
+type table struct {
+	keys   []uint64
+	vals   []int32
+	mask   uint64
+	probes int64
+}
+
+func newTable(capacity int) *table {
+	size := 1
+	for size < 2*capacity {
+		size <<= 1
+	}
+	if size < bucketSlots {
+		size = bucketSlots
+	}
+	t := &table{keys: make([]uint64, size), vals: make([]int32, size), mask: uint64(size - 1)}
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	return t
+}
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// insert returns the slot of key, inserting it with value v if absent.
+// found reports whether the key was already present.
+func (t *table) insert(key uint64, v int32) (slot int, found bool) {
+	i := hash64(key) & t.mask
+	for {
+		t.probes++
+		switch t.keys[i] {
+		case key:
+			return int(i), true
+		case emptyKey:
+			t.keys[i] = key
+			t.vals[i] = v
+			return int(i), false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// AppendUnique deduplicates neighbors against the targets and each other.
+// Target IDs must be distinct (training batches and per-hop frontiers are);
+// it panics otherwise. dev may be nil to skip cost accounting.
+func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
+	t := newTable(len(targets) + len(neighbors))
+	res := &Result{
+		Unique:        make([]graph.GlobalID, len(targets), len(targets)+len(neighbors)),
+		NumTargets:    len(targets),
+		NeighborSubID: make([]int32, len(neighbors)),
+	}
+
+	// Phase 1: insert targets with their list index as value.
+	for i, g := range targets {
+		if _, found := t.insert(uint64(g), int32(i)); found {
+			panic(fmt.Sprintf("unique: duplicate target %v at position %d", g, i))
+		}
+		res.Unique[i] = g
+	}
+
+	// Phase 2: insert neighbors with value -1; remember each input
+	// position's slot for the final ID lookup.
+	slots := make([]int32, len(neighbors))
+	for i, g := range neighbors {
+		slot, _ := t.insert(uint64(g), -1)
+		slots[i] = int32(slot)
+	}
+
+	// Phase 3: per-bucket count of -1 values, exclusive prefix sum, then
+	// assign neighbor IDs bucket-contiguously after the targets.
+	nBuckets := len(t.keys) / bucketSlots
+	bucketCount := make([]int32, nBuckets)
+	for b := 0; b < nBuckets; b++ {
+		for s := b * bucketSlots; s < (b+1)*bucketSlots; s++ {
+			if t.keys[s] != emptyKey && t.vals[s] == -1 {
+				bucketCount[b]++
+			}
+		}
+	}
+	var sum int32
+	for b, c := range bucketCount {
+		bucketCount[b] = sum
+		sum += c
+	}
+	base := int32(len(targets))
+	for b := 0; b < nBuckets; b++ {
+		next := base + bucketCount[b]
+		for s := b * bucketSlots; s < (b+1)*bucketSlots; s++ {
+			if t.keys[s] != emptyKey && t.vals[s] == -1 {
+				t.vals[s] = next
+				next++
+			}
+		}
+	}
+
+	// Phase 4: emit unique neighbors and the per-position sub-graph IDs.
+	res.Unique = res.Unique[:int(base)+int(sum)]
+	res.DupCount = make([]int32, len(res.Unique))
+	for s, k := range t.keys {
+		if k != emptyKey && t.vals[s] >= base {
+			res.Unique[t.vals[s]] = graph.GlobalID(k)
+		}
+	}
+	for i := range neighbors {
+		id := t.vals[slots[i]]
+		res.NeighborSubID[i] = id
+		res.DupCount[id]++
+	}
+
+	if dev != nil {
+		// Hash probes are 16-byte random accesses (key+value); the bucket
+		// count and prefix sum stream the table twice.
+		dev.Kernel(sim.KernelCost{
+			RandBytes:   float64(16 * t.probes),
+			StreamBytes: float64(2 * 12 * int64(len(t.keys))),
+			Tag:         "appendunique",
+		})
+	}
+	return res
+}

@@ -1,0 +1,171 @@
+package unique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+)
+
+func gid(r int, l int64) graph.GlobalID { return graph.MakeGlobalID(r, l) }
+
+func TestAppendUniqueSmall(t *testing.T) {
+	// Mirrors Figure 5: targets T0..T3, neighbors with duplicates and
+	// overlaps with targets.
+	targets := []graph.GlobalID{gid(0, 0), gid(0, 1), gid(1, 0), gid(1, 1)}
+	neighbors := []graph.GlobalID{
+		gid(2, 5), gid(0, 1), gid(2, 5), gid(3, 7), gid(1, 0),
+	}
+	res := AppendUnique(nil, targets, neighbors)
+
+	if res.NumTargets != 4 {
+		t.Fatalf("NumTargets = %d", res.NumTargets)
+	}
+	// Targets keep their order at the front.
+	for i, tg := range targets {
+		if res.Unique[i] != tg {
+			t.Fatalf("target %d moved: %v", i, res.Unique[i])
+		}
+	}
+	// Unique contains exactly targets + {2:5, 3:7}.
+	if len(res.Unique) != 6 {
+		t.Fatalf("unique size = %d, want 6: %v", len(res.Unique), res.Unique)
+	}
+	// Neighbor positions map to consistent IDs.
+	if res.NeighborSubID[0] != res.NeighborSubID[2] {
+		t.Error("duplicate neighbor got two IDs")
+	}
+	if res.NeighborSubID[1] != 1 {
+		t.Errorf("neighbor equal to target T1 should map to 1, got %d", res.NeighborSubID[1])
+	}
+	if res.NeighborSubID[4] != 2 {
+		t.Errorf("neighbor equal to target T2 should map to 2, got %d", res.NeighborSubID[4])
+	}
+	for i, id := range res.NeighborSubID {
+		if res.Unique[id] != neighbors[i] {
+			t.Fatalf("NeighborSubID[%d] = %d points at %v, want %v", i, id, res.Unique[id], neighbors[i])
+		}
+	}
+	// Duplicate counts: 2:5 sampled twice, targets 0:1 and 1:0 once each,
+	// 3:7 once, others zero.
+	wantDup := map[graph.GlobalID]int32{
+		gid(2, 5): 2, gid(0, 1): 1, gid(1, 0): 1, gid(3, 7): 1,
+	}
+	for id, u := range res.Unique {
+		if res.DupCount[id] != wantDup[u] {
+			t.Errorf("dupcount[%v] = %d, want %d", u, res.DupCount[id], wantDup[u])
+		}
+	}
+}
+
+func TestAppendUniqueNoNeighbors(t *testing.T) {
+	targets := []graph.GlobalID{gid(0, 3), gid(1, 4)}
+	res := AppendUnique(nil, targets, nil)
+	if len(res.Unique) != 2 || res.NumTargets != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestAppendUniquePanicsOnDuplicateTargets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate targets did not panic")
+		}
+	}()
+	AppendUnique(nil, []graph.GlobalID{gid(0, 1), gid(0, 1)}, nil)
+}
+
+func TestAppendUniqueCharges(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	d := m.Devs[0]
+	AppendUnique(d, []graph.GlobalID{gid(0, 0)}, []graph.GlobalID{gid(0, 1), gid(0, 1)})
+	if d.Now() == 0 || d.Stats.Kernels != 1 {
+		t.Errorf("charging wrong: now=%g kernels=%d", d.Now(), d.Stats.Kernels)
+	}
+}
+
+func TestAppendUniqueProperties(t *testing.T) {
+	f := func(seed int64, nT, nN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTargets := 1 + int(nT)%50
+		nNeighbors := int(nN) % 200
+
+		// Distinct targets via a permutation.
+		perm := rng.Perm(1000)
+		targets := make([]graph.GlobalID, nTargets)
+		for i := range targets {
+			targets[i] = gid(perm[i]%8, int64(perm[i]))
+		}
+		neighbors := make([]graph.GlobalID, nNeighbors)
+		for i := range neighbors {
+			v := rng.Intn(1000)
+			neighbors[i] = gid(v%8, int64(v))
+		}
+		res := AppendUnique(nil, targets, neighbors)
+
+		// (1) Unique really is duplicate-free.
+		seen := map[graph.GlobalID]bool{}
+		for _, u := range res.Unique {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		// (2) Targets form the prefix in order.
+		for i, tg := range targets {
+			if res.Unique[i] != tg {
+				return false
+			}
+		}
+		// (3) Every neighbor maps to its own value.
+		for i, id := range res.NeighborSubID {
+			if id < 0 || int(id) >= len(res.Unique) || res.Unique[id] != neighbors[i] {
+				return false
+			}
+		}
+		// (4) Every unique entry is a target or appeared as a neighbor.
+		appeared := map[graph.GlobalID]bool{}
+		for _, n := range neighbors {
+			appeared[n] = true
+		}
+		for i, u := range res.Unique {
+			if i >= res.NumTargets && !appeared[u] {
+				return false
+			}
+		}
+		// (5) Duplicate counts total the neighbor list length.
+		var total int32
+		for _, c := range res.DupCount {
+			total += c
+		}
+		return int(total) == nNeighbors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendUniqueLarge(t *testing.T) {
+	// Forces multiple buckets and heavy duplication.
+	rng := rand.New(rand.NewSource(42))
+	targets := make([]graph.GlobalID, 500)
+	for i := range targets {
+		targets[i] = gid(i%8, int64(10000+i))
+	}
+	neighbors := make([]graph.GlobalID, 20000)
+	for i := range neighbors {
+		v := rng.Intn(2000)
+		neighbors[i] = gid(v%8, int64(v))
+	}
+	res := AppendUnique(nil, targets, neighbors)
+	if len(res.Unique) > 500+2000 {
+		t.Fatalf("unique too large: %d", len(res.Unique))
+	}
+	for i, id := range res.NeighborSubID {
+		if res.Unique[id] != neighbors[i] {
+			t.Fatalf("mapping broken at %d", i)
+		}
+	}
+}

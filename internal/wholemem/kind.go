@@ -1,0 +1,78 @@
+package wholemem
+
+import (
+	"fmt"
+
+	"wholegraph/internal/sim"
+)
+
+// Kind selects the physical backing of a shared allocation. The real
+// WholeMemory library offers the same choice of memory types; the paper's
+// Table I measurement is the argument for the peer-access default.
+type Kind int
+
+const (
+	// DeviceP2P stripes the allocation across device memories and maps
+	// them with CUDA IPC; remote traffic crosses NVLink via GPUDirect
+	// peer access. This is WholeGraph's design and the default.
+	DeviceP2P Kind = iota
+	// DeviceUM stripes across device memories under Unified Memory:
+	// non-resident accesses go through the page-fault migration path,
+	// an order of magnitude slower than peer access.
+	DeviceUM
+	// PinnedHost places the whole allocation in pinned host memory,
+	// accessed zero-copy from kernels over each GPU's PCIe share. This is
+	// the storage the host-memory baselines effectively use.
+	PinnedHost
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case DeviceP2P:
+		return "device-p2p"
+	case DeviceUM:
+		return "device-um"
+	case PinnedHost:
+		return "pinned-host"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kind returns the allocation's backing kind.
+func (m *Memory[T]) Kind() Kind { return m.kind }
+
+// AllocKind is Alloc with an explicit backing kind.
+func AllocKind[T Elem](c *Comm, n int64, kind Kind) *Memory[T] {
+	return Alloc[T](c, n).WithKind(kind)
+}
+
+// WithKind sets the allocation's backing kind and returns it. In the
+// simulation the kind only selects the cost model, so re-labelling an
+// existing allocation (e.g. a graph store's feature table) stands in for
+// allocating it differently.
+func (m *Memory[T]) WithKind(k Kind) *Memory[T] {
+	m.kind = k
+	return m
+}
+
+// accessCost converts an access pattern (bytes split local/remote with a
+// segment size) into a kernel cost under the allocation's kind.
+func (m *Memory[T]) accessCost(localBytes, remoteBytes, segBytes, dstStreamBytes float64, tag string) sim.KernelCost {
+	c := sim.KernelCost{StreamBytes: dstStreamBytes, Tag: tag}
+	switch m.kind {
+	case DeviceUM:
+		c.RandBytes = localBytes
+		c.UMBytes = remoteBytes
+	case PinnedHost:
+		// Everything lives in host memory: even the "local" share crosses
+		// PCIe.
+		c.HostZeroCopyBytes = localBytes + remoteBytes
+		c.HostSegBytes = segBytes
+	default:
+		c.RandBytes = localBytes
+		c.RemoteBytes = remoteBytes
+		c.RemoteSegBytes = segBytes
+	}
+	return c
+}

@@ -1,0 +1,302 @@
+// Package wholegraph is a Go reproduction of "WholeGraph: A Fast Graph
+// Neural Network Training Framework with Multi-GPU Distributed Shared
+// Memory Architecture" (Yang, Liu, Qi, Lai — NVIDIA, SC 2022).
+//
+// The package is the user-facing facade over the implementation in
+// internal/: a simulated multi-GPU machine (internal/sim), the distributed
+// shared memory library (internal/wholemem), partitioned graph storage
+// (internal/graph), the GNN ops of the paper — parallel sampling without
+// replacement, AppendUnique, global gather, g-SpMM/g-SDDMM — and a full
+// training stack (tensor math, autograd, GCN/GraphSAGE/GAT models, data
+// parallel training) plus the DGL-like and PyG-like host-memory baselines
+// the paper compares against.
+//
+// A minimal end-to-end run:
+//
+//	machine := wholegraph.NewDGXA100(1)
+//	ds, _ := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.001))
+//	trainer, _ := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+//		Arch: "graphsage", Batch: 64, Fanouts: []int{5, 5}, Hidden: 32,
+//	})
+//	for epoch := 0; epoch < 10; epoch++ {
+//		stats := trainer.RunEpoch()
+//		fmt.Printf("epoch %d: loss %.3f, %.1f ms (virtual)\n",
+//			stats.Epoch, stats.Loss, stats.EpochTime*1e3)
+//	}
+//
+// All reported durations are virtual seconds from the machine simulation:
+// the algorithms run for real on real data, while their costs are charged
+// to calibrated device clocks (see DESIGN.md for the substitution rationale
+// and calibration sources).
+package wholegraph
+
+import (
+	"wholegraph/internal/analytics"
+	"wholegraph/internal/baseline"
+	"wholegraph/internal/core"
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/gather"
+	"wholegraph/internal/gnn"
+	"wholegraph/internal/graph"
+	"wholegraph/internal/graphclass"
+	"wholegraph/internal/infer"
+	"wholegraph/internal/linkpred"
+	"wholegraph/internal/sampling"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/train"
+	"wholegraph/internal/unique"
+	"wholegraph/internal/wholemem"
+)
+
+// --- Machine simulation ---
+
+// Machine is a simulated multi-GPU cluster with virtual clocks.
+type Machine = sim.Machine
+
+// MachineConfig describes the simulated hardware.
+type MachineConfig = sim.MachineConfig
+
+// Device is one simulated GPU.
+type Device = sim.Device
+
+// KernelCost describes one kernel for cost charging (advanced use: custom
+// ops built directly on devices).
+type KernelCost = sim.KernelCost
+
+// NewDGXA100 builds a cluster of DGX-A100 nodes (8 GPUs each, NVSwitch,
+// PCIe 4.0, InfiniBand between nodes), calibrated to the paper's
+// microbenchmarks.
+func NewDGXA100(nodes int) *Machine { return sim.NewMachine(sim.DGXA100(nodes)) }
+
+// NewMachine builds a cluster from a custom configuration.
+func NewMachine(cfg MachineConfig) *Machine { return sim.NewMachine(cfg) }
+
+// DGXA100Config returns the calibrated DGX-A100 configuration for callers
+// that want to tweak hardware parameters before NewMachine.
+func DGXA100Config(nodes int) MachineConfig { return sim.DGXA100(nodes) }
+
+// --- Datasets ---
+
+// DatasetSpec describes a synthetic dataset (sizes, feature dimension,
+// label ratio, degree distribution).
+type DatasetSpec = dataset.Spec
+
+// Dataset is a generated graph with features, labels and splits.
+type Dataset = dataset.Dataset
+
+// Specs for the paper's four evaluation graphs (Table II) at full size; use
+// Scaled to shrink them to laptop proportions.
+var (
+	OgbnProducts   = dataset.OgbnProducts
+	OgbnPapers100M = dataset.OgbnPapers100M
+	Friendster     = dataset.Friendster
+	UKDomain       = dataset.UKDomain
+)
+
+// GenerateDataset builds the synthetic dataset described by spec.
+func GenerateDataset(spec DatasetSpec) (*Dataset, error) { return dataset.Generate(spec) }
+
+// LoadDataset reads a dataset saved with Dataset.SaveFile (or wggen -save).
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
+
+// WriteChromeTrace serializes the recorded device timelines in the Chrome
+// Trace Event format (view in chrome://tracing or Perfetto). Enable
+// TrainOptions.Trace or Device.Tracing first.
+var WriteChromeTrace = sim.WriteChromeTrace
+
+// --- Graph storage ---
+
+// GlobalID identifies a node as (owning rank, local index), the paper's
+// multi-GPU node addressing scheme.
+type GlobalID = graph.GlobalID
+
+// CSR is a host-side adjacency structure.
+type CSR = graph.CSR
+
+// PartitionedGraph is the multi-GPU graph store: hash-partitioned nodes,
+// edges with their source, features with their node, all in distributed
+// shared memory.
+type PartitionedGraph = graph.Partitioned
+
+// Store couples a dataset with its partitioned placement on one machine
+// node.
+type Store = core.Store
+
+// NewStore partitions ds across the GPUs of machine node `node`, charging
+// the one-time allocation and IPC setup cost.
+func NewStore(m *Machine, node int, ds *Dataset) (*Store, error) {
+	return core.NewStore(m, node, ds)
+}
+
+// --- Ops ---
+
+// SampleWithoutReplacement draws m distinct values from [0, n) with the
+// paper's Algorithm 1 (parallel path-doubling resolution).
+var SampleWithoutReplacement = sampling.SampleWithoutReplacement
+
+// AppendUnique deduplicates sampled neighbors against the target list,
+// assigning contiguous sub-graph IDs and duplicate counts (§III-C2).
+var AppendUnique = unique.AppendUnique
+
+// UniqueResult is the output of AppendUnique.
+type UniqueResult = unique.Result
+
+// GatherRequest is one GPU's feature gather (rows in, features out).
+type GatherRequest = gather.Request
+
+// NewGatherRequest allocates a request with a sized output buffer.
+var NewGatherRequest = gather.NewRequest
+
+// SharedMemGather performs the single-kernel shared-memory global gather
+// (Figure 4, right).
+var SharedMemGather = gather.SharedMem
+
+// DistributedGather performs the 5-step NCCL-style gather baseline
+// (Figure 4, left).
+var DistributedGather = gather.Distributed
+
+// --- Models and training ---
+
+// Model is a GNN producing logits for a batch's target nodes.
+type Model = gnn.Model
+
+// ModelConfig holds GNN hyperparameters.
+type ModelConfig = gnn.Config
+
+// Batch is a sampled multi-layer mini-batch (message flow graphs + gathered
+// features + labels).
+type Batch = gnn.Batch
+
+// NewModel constructs "gcn", "graphsage" or "gat" from a config.
+var NewModel = gnn.New
+
+// LayerBackend selects whose GNN layer kernels carry the compute
+// (Figure 11): BackendNative, BackendDGL or BackendPyG.
+type LayerBackend = spops.Backend
+
+// Layer backends.
+const (
+	BackendNative = spops.BackendNative
+	BackendDGL    = spops.BackendDGL
+	BackendPyG    = spops.BackendPyG
+)
+
+// TrainOptions configures a training run; zero values take the paper's §IV
+// defaults (batch 512, fanout 30/30/30, hidden 256, 4 heads).
+type TrainOptions = train.Options
+
+// Trainer runs data-parallel GNN training over a simulated machine.
+type Trainer = train.Trainer
+
+// EpochStats reports one epoch: virtual epoch time, per-phase breakdown,
+// loss and accuracy.
+type EpochStats = train.EpochStats
+
+// Loader builds WholeGraph mini-batches on one device (GPU sampling +
+// AppendUnique + shared-memory gather).
+type Loader = core.Loader
+
+// NewLoader creates a batch loader over a store.
+var NewLoader = core.NewLoader
+
+// NewTrainer builds the WholeGraph trainer: one graph replica per machine
+// node, one data-parallel worker per GPU.
+func NewTrainer(m *Machine, ds *Dataset, opts TrainOptions) (*Trainer, error) {
+	return train.New(m, ds, opts)
+}
+
+// LayerwiseModel is a Model that supports single-layer application, as
+// full-graph inference requires; all built-in architectures implement it.
+type LayerwiseModel = gnn.LayerwiseModel
+
+// FullGraphInference computes the model's output for every node of the
+// store via layer-wise propagation over shared memory (offline inference:
+// each embedding computed exactly once, no sampling).
+var FullGraphInference = infer.FullGraph
+
+// BaselineFlavor selects which host-memory baseline framework to emulate.
+type BaselineFlavor = baseline.Flavor
+
+// Baseline flavors.
+const (
+	DGL = baseline.DGL
+	PyG = baseline.PyG
+)
+
+// NewBaselineTrainer builds a DGL-like or PyG-like host-memory trainer: CPU
+// sampling and gathering, PCIe transfers, identical model math.
+func NewBaselineTrainer(m *Machine, ds *Dataset, opts TrainOptions, flavor BaselineFlavor) (*Trainer, error) {
+	return baseline.New(m, ds, opts, flavor)
+}
+
+// --- Link prediction ---
+
+// LinkPredOptions configures the link-prediction trainer.
+type LinkPredOptions = linkpred.Options
+
+// LinkPredictor trains a GraphSAGE encoder end-to-end on the link
+// objective (positive edges vs sampled negatives, dot-product scores,
+// binary cross-entropy) over the shared store.
+type LinkPredictor = linkpred.Trainer
+
+// NewLinkPredictor builds a link-prediction trainer on one device.
+var NewLinkPredictor = linkpred.New
+
+// --- Graph classification ---
+
+// GraphClassSpec describes a synthetic graph-classification dataset (each
+// class a topology motif).
+type GraphClassSpec = graphclass.Spec
+
+// GraphClassDataset is a set of labeled small graphs.
+type GraphClassDataset = graphclass.Dataset
+
+// GraphClassStore holds the small graphs' features in shared memory.
+type GraphClassStore = graphclass.Store
+
+// GraphClassifier trains a GIN on batches of small graphs (disjoint-union
+// blocks, mean-pool readout).
+type GraphClassifier = graphclass.Trainer
+
+// GenerateGraphClassDataset builds a motif-classification dataset.
+var GenerateGraphClassDataset = graphclass.Generate
+
+// NewGraphClassStore places the dataset into a node's shared memory.
+var NewGraphClassStore = graphclass.NewStore
+
+// GraphClassOptions configures the graph-classification trainer.
+type GraphClassOptions = graphclass.Options
+
+// NewGraphClassifier builds the trainer on one device.
+var NewGraphClassifier = graphclass.New
+
+// --- Graph analytics ---
+
+// PageRankResult holds converged PageRank values and run statistics.
+type PageRankResult = analytics.PageRankResult
+
+// CCResult holds connected-component labels and run statistics.
+type CCResult = analytics.CCResult
+
+// PageRank runs damped power iteration over the partitioned store, each
+// rank pulling neighbor state through shared memory.
+var PageRank = analytics.PageRank
+
+// ConnectedComponents runs label propagation over the partitioned store.
+var ConnectedComponents = analytics.ConnectedComponents
+
+// --- Shared memory (advanced) ---
+
+// Comm is the set of device ranks sharing memory (one machine node).
+type Comm = wholemem.Comm
+
+// NewComm creates a communicator over the devices of one node.
+var NewComm = wholemem.NewComm
+
+// FloatMemory is a distributed shared float32 allocation.
+type FloatMemory = wholemem.Memory[float32]
+
+// AllocFloats creates a shared float32 allocation of n elements split
+// across the communicator, performing the IPC setup protocol.
+func AllocFloats(c *Comm, n int64) *FloatMemory { return wholemem.Alloc[float32](c, n) }

@@ -1,0 +1,178 @@
+package wholegraph_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wholegraph"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the quickstart
+// example does: machine, dataset, trainer, epochs, evaluation.
+func TestFacadeEndToEnd(t *testing.T) {
+	machine := wholegraph.NewDGXA100(1)
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+		Arch: "graphsage", Batch: 32, Fanouts: []int{4, 4}, Hidden: 16, LR: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last wholegraph.EpochStats
+	for e := 0; e < 10; e++ {
+		st := trainer.RunEpoch()
+		if e == 0 {
+			first = st
+		}
+		last = st
+	}
+	if last.Loss >= first.Loss {
+		t.Errorf("loss did not decrease: %.3f -> %.3f", first.Loss, last.Loss)
+	}
+	if last.EpochTime <= 0 {
+		t.Error("no virtual time measured")
+	}
+	if acc := trainer.Evaluate(ds.Val, 0); acc <= 0 {
+		t.Errorf("validation accuracy %.3f", acc)
+	}
+	if emb := trainer.Predict(ds.Val[:4]); len(emb) != 4 || len(emb[0]) != ds.Spec.NumClasses {
+		t.Error("Predict returned wrong shape")
+	}
+}
+
+func TestFacadeBaselineAndOps(t *testing.T) {
+	machine := wholegraph.NewDGXA100(1)
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := wholegraph.NewBaselineTrainer(machine, ds, wholegraph.TrainOptions{
+		Arch: "gcn", Batch: 16, Fanouts: []int{3}, Hidden: 8,
+	}, wholegraph.DGL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.RunEpoch(); st.EpochTime <= 0 {
+		t.Error("baseline epoch did not run")
+	}
+
+	// Direct op access: Algorithm 1 and the shared-memory allocator.
+	res := wholegraph.SampleWithoutReplacement(5, 100, rand.New(rand.NewSource(1)))
+	if len(res) != 5 {
+		t.Errorf("sampled %d values", len(res))
+	}
+	comm, err := wholegraph.NewComm(machine.NodeDevs(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := wholegraph.AllocFloats(comm, 1024)
+	if mem.Len() != 1024 {
+		t.Errorf("allocated %d elements", mem.Len())
+	}
+
+	// Store + loader compose directly too.
+	m2 := wholegraph.NewDGXA100(1)
+	store, err := wholegraph.NewStore(m2, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := wholegraph.NewLoader(store, m2.Devs[0], []int{3}, 1)
+	batch, _ := ld.BuildBatch(ds.Train[:4])
+	if err := batch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	machine := wholegraph.NewDGXA100(1)
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := wholegraph.NewStore(machine, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytics.
+	pr, err := wholegraph.PageRank(store.PG, 0.85, 1e-6, 30)
+	if err != nil || len(pr.Rank) != int(ds.Graph.N) {
+		t.Fatalf("pagerank: %v", err)
+	}
+	cc, err := wholegraph.ConnectedComponents(store.PG, 100)
+	if err != nil || cc.Components == 0 {
+		t.Fatalf("cc: %v", err)
+	}
+
+	// Link prediction.
+	lp, err := wholegraph.NewLinkPredictor(store, machine.Devs[0], wholegraph.LinkPredOptions{
+		EdgeBatch: 16, Fanouts: []int{3}, Dim: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss := lp.TrainStep(); loss <= 0 {
+		t.Errorf("linkpred loss = %g", loss)
+	}
+	if auc := lp.EvalAUC(64); auc < 0 || auc > 1 {
+		t.Errorf("auc = %g", auc)
+	}
+
+	// Full-graph inference through the facade.
+	tr, err := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+		Arch: "gin", Batch: 16, Fanouts: []int{3}, Hidden: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, ok := tr.Models[0].(wholegraph.LayerwiseModel)
+	if !ok {
+		t.Fatal("gin not layerwise")
+	}
+	out, err := wholegraph.FullGraphInference(tr.Stores[0], lw)
+	if err != nil || int64(out.R) != ds.Graph.N {
+		t.Fatalf("inference: %v", err)
+	}
+
+	// Checkpoint via the facade surface.
+	path := t.TempDir() + "/m.ckpt"
+	if err := tr.Models[0].Params().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Models[0].Params().LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chrome trace export.
+	machine.Devs[0].Tracing = true
+	machine.Devs[0].Kernel(wholegraph.KernelCost{FLOPs: 1e6, Tag: "t"})
+	var sb strings.Builder
+	if err := wholegraph.WriteChromeTrace(&sb, machine.Devs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"t"`) {
+		t.Error("trace missing tagged event")
+	}
+}
+
+func TestFacadeDatasetIO(t *testing.T) {
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/d.bin"
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wholegraph.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.N != ds.Graph.N {
+		t.Error("load round trip lost nodes")
+	}
+}
