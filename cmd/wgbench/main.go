@@ -7,16 +7,21 @@
 //	wgbench -exp all                 # everything, default scale 1/1000
 //	wgbench -exp table5 -scale 0.002 # one experiment at a custom scale
 //	wgbench -exp fig8,fig10 -quick   # fast pass with reduced models
+//	wgbench -exp table3 -parallel    # fan independent cells across cores
+//	wgbench -exp all -json out.json  # machine-readable results
 //
 // Reported times are virtual seconds from the machine simulation; see
 // EXPERIMENTS.md for the paper-vs-measured comparison and the scaling
-// substitutions.
+// substitutions. -parallel changes only wall-clock time: printed rows and
+// virtual seconds are identical to a serial run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,7 +31,7 @@ import (
 var experiments = []struct {
 	name string
 	desc string
-	run  func(bench.Config) error
+	run  func(bench.Config) (any, error)
 }{
 	{"table1", "UM vs GPUDirect P2P access latency", wrap(bench.Table1)},
 	{"table2", "evaluation datasets", wrap(bench.Table2)},
@@ -52,21 +57,44 @@ var experiments = []struct {
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 }
 
-func wrap[T any](f func(bench.Config) (T, error)) func(bench.Config) error {
-	return func(cfg bench.Config) error {
-		_, err := f(cfg)
-		return err
+func wrap[T any](f func(bench.Config) (T, error)) func(bench.Config) (any, error) {
+	return func(cfg bench.Config) (any, error) {
+		return f(cfg)
 	}
+}
+
+// jsonReport is the -json output: run metadata plus one entry per executed
+// experiment with its typed result rows (virtual seconds live inside them)
+// and the host wall-clock the experiment took.
+type jsonReport struct {
+	Scale       float64          `json:"scale"`
+	Quick       bool             `json:"quick"`
+	Epochs      int              `json:"epochs"`
+	Seed        int64            `json:"seed"`
+	Parallel    bool             `json:"parallel"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	StartedAt   time.Time        `json:"started_at"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	Name        string  `json:"name"`
+	Desc        string  `json:"desc"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Result      any     `json:"result"`
 }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
-		scale  = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
-		quick  = flag.Bool("quick", false, "reduced model sizes and iteration counts")
-		epochs = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
+		scale    = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
+		quick    = flag.Bool("quick", false, "reduced model sizes and iteration counts")
+		epochs   = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -77,27 +105,53 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed, W: os.Stdout}
+	cfg := bench.Config{
+		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
+		Parallel: *parallel, W: os.Stdout,
+	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(n)] = true
 	}
+	report := jsonReport{
+		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
+		Parallel: *parallel, GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
+	}
+	start := time.Now()
 	ran := 0
 	for _, e := range experiments {
 		if !want["all"] && !want[e.name] {
 			continue
 		}
 		t0 := time.Now()
-		if err := e.run(cfg); err != nil {
+		res, err := e.run(cfg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "wgbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+		wall := time.Since(t0)
+		fmt.Printf("[%s done in %v]\n\n", e.name, wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Name: e.name, Desc: e.desc, WallSeconds: wall.Seconds(), Result: res,
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "wgbench: no experiment matched %q (use -list)\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		report.WallSeconds = time.Since(start).Seconds()
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wgbench: encoding -json report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "wgbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment results to %s\n", ran, *jsonPath)
 	}
 }
 

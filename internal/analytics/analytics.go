@@ -68,8 +68,13 @@ func PageRank(pg *graph.Partitioned, d float64, tol float64, maxIter int) (*Page
 		}
 		base := (1-d)/float64(n) + d*dangling/float64(n)
 
-		var delta float64
-		for r, dev := range devs {
+		// Jacobi iteration: every rank reads the frozen cur table and
+		// writes only its own shard of next, so the ranks run on real
+		// goroutines; per-rank deltas are summed in rank order after the
+		// join for a deterministic reduction.
+		deltas := make([]float64, len(devs))
+		sim.RunParallel(len(devs), func(r int) {
+			dev := devs[r]
 			rp := pg.RowPtr.Shard(r)
 			col := pg.Col.Shard(r)
 			out := next.Shard(r)
@@ -94,11 +99,15 @@ func PageRank(pg *graph.Partitioned, d float64, tol float64, maxIter int) (*Page
 				}
 				v := base + d*sum
 				out[li] = float32(v)
-				delta += math.Abs(v - float64(in[li]))
+				deltas[r] += math.Abs(v - float64(in[li]))
 			}
 			// One pull kernel per rank per iteration: neighbor ranks and
 			// degrees are 4-8 byte scattered reads.
 			cur.ChargeAccess(dev, localElems, remoteElems, 8, "pagerank")
+		})
+		var delta float64
+		for _, dr := range deltas {
+			delta += dr
 		}
 		sim.Barrier(devs)
 		cur, next = next, cur
@@ -130,6 +139,13 @@ type CCResult struct {
 // the minimum label in its closed neighborhood) over the shared store until
 // a fixpoint. On the undirected evaluation graphs this converges to the
 // connected components.
+//
+// Unlike PageRank's Jacobi sweep, this propagation is deliberately
+// Gauss-Seidel: a rank reads labels other ranks may have lowered earlier in
+// the same iteration, which roughly halves the iterations to the fixpoint.
+// That makes the per-rank loop order-dependent, so it stays serial — the
+// deterministic-parallel ownership model (internal/sim/exec.go) requires
+// shared state to be frozen between barriers.
 func ConnectedComponents(pg *graph.Partitioned, maxIter int) (*CCResult, error) {
 	comm := pg.Comm
 	devs := comm.Devs

@@ -167,7 +167,12 @@ func (l *HostLoader) BuildBatch(targets []int64) (*gnn.Batch, core.Timing) {
 
 // New builds a DGL-like or PyG-like trainer over the machine. The layer
 // backend follows the flavor (DGL layers for DGL, PyG layers for PyG),
-// matching how the paper benchmarks the stock frameworks.
+// matching how the paper benchmarks the stock frameworks. Each worker gets
+// its own host executor (the frameworks spawn one dataloader process per
+// worker), so workers sample concurrently in virtual time and may run on
+// real goroutines under sim.RunParallel; the first worker uses the node's
+// primary CPU, keeping single-worker virtual times identical to earlier
+// revisions.
 func New(m *sim.Machine, ds *dataset.Dataset, opts train.Options, flavor Flavor) (*train.Trainer, error) {
 	if flavor == DGL {
 		opts.Backend = spops.BackendDGL
@@ -175,6 +180,10 @@ func New(m *sim.Machine, ds *dataset.Dataset, opts train.Options, flavor Flavor)
 		opts.Backend = spops.BackendPyG
 	}
 	return train.NewCustom(m, ds, opts, func(w int, dev *sim.Device) train.BatchLoader {
-		return NewHostLoader(ds, m.CPUs[dev.Node], dev, opts.Normalize().Fanouts, flavor, opts.Seed+int64(w))
+		cpu := m.CPUs[dev.Node]
+		if w > 0 {
+			cpu = m.AddCPU(dev.Node)
+		}
+		return NewHostLoader(ds, cpu, dev, opts.Normalize().Fanouts, flavor, opts.Seed+int64(w))
 	})
 }

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"wholegraph/internal/baseline"
 	"wholegraph/internal/core"
@@ -33,6 +35,11 @@ type Config struct {
 	Epochs int
 	// Seed fixes all randomness.
 	Seed int64
+	// Parallel fans independent experiment cells (dataset x model x
+	// framework groups) across goroutines. Reported virtual times and
+	// printed rows are identical either way: cells share only read-only
+	// state, and rows are printed in order after all cells finish.
+	Parallel bool
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -106,10 +113,17 @@ func (c Config) datasets() []dataset.Spec {
 	return out
 }
 
-// generate memoizes dataset generation within one harness process.
-var dsCache = map[string]*dataset.Dataset{}
+// generate memoizes dataset generation within one harness process. The
+// cache is shared by concurrently running experiment cells, hence the lock;
+// generated datasets themselves are read-only.
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*dataset.Dataset{}
+)
 
 func generate(spec dataset.Spec) (*dataset.Dataset, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
 	if ds, ok := dsCache[spec.Name]; ok {
 		return ds, nil
 	}
@@ -119,6 +133,45 @@ func generate(spec dataset.Spec) (*dataset.Dataset, error) {
 	}
 	dsCache[spec.Name] = ds
 	return ds, nil
+}
+
+// runCells executes n independent experiment cells, concurrently when
+// cfg.Parallel is set. Cells must confine writes to their own result slot
+// and not touch cfg.W (printing happens after the join, in cell order, so
+// reports are byte-identical to a serial run). The lowest-indexed cell
+// error is returned, matching what a serial run would have hit first.
+//
+// In-flight cells are capped at GOMAXPROCS: each cell holds a whole
+// simulated machine (up to 64 devices for the multi-node experiments)
+// live, so unbounded fan-out inflates the heap and turns into GC time
+// instead of speedup once cells outnumber cores.
+func (c Config) runCells(n int, fn func(cell int) error) error {
+	if !c.Parallel || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Framework identifies a training pipeline in reports.

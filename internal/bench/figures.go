@@ -30,35 +30,52 @@ func Table5(cfg Config) ([]Table5Row, error) {
 	cfg.printf("Table V: average epoch time (virtual seconds at scale %g) and speedups\n", cfg.Scale)
 	cfg.printf("%-22s %-10s %12s %12s %12s %10s %10s\n",
 		"Dataset", "Model", "PyG", "DGL", "Ours", "vs PyG", "vs DGL")
-	var rows []Table5Row
+	// One cell per dataset x model, fanned out under cfg.Parallel; each
+	// cell times the three frameworks on fresh machines.
+	type t5cell struct {
+		ds   *dataset.Dataset
+		arch string
+	}
+	var cells []t5cell
 	for _, spec := range specs {
 		ds, err := generate(spec)
 		if err != nil {
 			return nil, err
 		}
 		for _, arch := range []string{"gcn", "graphsage", "gat"} {
-			row := Table5Row{
-				Dataset: spec.Name, Model: arch,
-				EpochTime: map[Framework]float64{},
-				Timing:    map[Framework]core.Timing{},
-			}
-			for _, fw := range []Framework{FwPyG, FwDGL, FwWholeGraph} {
-				_, tr, err := newTrainer(fw, 1, ds, cfg.trainOpts(arch))
-				if err != nil {
-					return nil, err
-				}
-				st := tr.RunEpoch()
-				row.EpochTime[fw] = st.EpochTime
-				row.Timing[fw] = st.Timing
-			}
-			row.SpeedupVsPyG = row.EpochTime[FwPyG] / row.EpochTime[FwWholeGraph]
-			row.SpeedupVsDGL = row.EpochTime[FwDGL] / row.EpochTime[FwWholeGraph]
-			rows = append(rows, row)
-			cfg.printf("%-22s %-10s %12s %12s %12s %9.2fx %9.2fx\n",
-				spec.Name, arch,
-				fmtSeconds(row.EpochTime[FwPyG]), fmtSeconds(row.EpochTime[FwDGL]),
-				fmtSeconds(row.EpochTime[FwWholeGraph]), row.SpeedupVsPyG, row.SpeedupVsDGL)
+			cells = append(cells, t5cell{ds, arch})
 		}
+	}
+	rows := make([]Table5Row, len(cells))
+	err := cfg.runCells(len(cells), func(ci int) error {
+		c := cells[ci]
+		row := Table5Row{
+			Dataset: c.ds.Spec.Name, Model: c.arch,
+			EpochTime: map[Framework]float64{},
+			Timing:    map[Framework]core.Timing{},
+		}
+		for _, fw := range []Framework{FwPyG, FwDGL, FwWholeGraph} {
+			_, tr, err := newTrainer(fw, 1, c.ds, cfg.trainOpts(c.arch))
+			if err != nil {
+				return err
+			}
+			st := tr.RunEpoch()
+			row.EpochTime[fw] = st.EpochTime
+			row.Timing[fw] = st.Timing
+		}
+		row.SpeedupVsPyG = row.EpochTime[FwPyG] / row.EpochTime[FwWholeGraph]
+		row.SpeedupVsDGL = row.EpochTime[FwDGL] / row.EpochTime[FwWholeGraph]
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		cfg.printf("%-22s %-10s %12s %12s %12s %9.2fx %9.2fx\n",
+			row.Dataset, row.Model,
+			fmtSeconds(row.EpochTime[FwPyG]), fmtSeconds(row.EpochTime[FwDGL]),
+			fmtSeconds(row.EpochTime[FwWholeGraph]), row.SpeedupVsPyG, row.SpeedupVsDGL)
 	}
 	return rows, nil
 }
@@ -437,41 +454,58 @@ func Fig13(cfg Config) ([]Fig13Row, error) {
 		cfg.printf(" %6dN", n)
 	}
 	cfg.printf("\n")
-	var rows []Fig13Row
+	// One cell per dataset x model; node counts within a cell stay serial
+	// because every speedup divides by the same cell's 1-node baseline.
+	type f13cell struct {
+		ds   *dataset.Dataset
+		arch string
+	}
+	var cells []f13cell
 	for _, spec := range specs {
 		ds, err := generate(spec)
 		if err != nil {
 			return nil, err
 		}
 		for _, arch := range models {
-			opts := cfg.trainOpts(arch)
-			// Size the batch so a single node runs ~32 iterations per
-			// epoch; scaling then has room to show (the paper's epochs
-			// are hundreds of iterations).
-			opts.Batch = len(ds.Train) / 8 / 32
-			if opts.Batch < 4 {
-				opts.Batch = 4
-			}
-			row := Fig13Row{Dataset: spec.Name, Model: arch, Nodes: nodeCounts}
-			var base float64
-			for _, n := range nodeCounts {
-				_, tr, err := newTrainer(FwWholeGraph, n, ds, opts)
-				if err != nil {
-					return nil, err
-				}
-				et := tr.RunEpoch().EpochTime
-				if n == 1 {
-					base = et
-				}
-				row.Speedup = append(row.Speedup, base/et)
-			}
-			rows = append(rows, row)
-			cfg.printf("%-22s %-10s", spec.Name, arch)
-			for _, s := range row.Speedup {
-				cfg.printf(" %6.2fx", s)
-			}
-			cfg.printf("\n")
+			cells = append(cells, f13cell{ds, arch})
 		}
+	}
+	rows := make([]Fig13Row, len(cells))
+	err := cfg.runCells(len(cells), func(ci int) error {
+		c := cells[ci]
+		opts := cfg.trainOpts(c.arch)
+		// Size the batch so a single node runs ~32 iterations per
+		// epoch; scaling then has room to show (the paper's epochs
+		// are hundreds of iterations).
+		opts.Batch = len(c.ds.Train) / 8 / 32
+		if opts.Batch < 4 {
+			opts.Batch = 4
+		}
+		row := Fig13Row{Dataset: c.ds.Spec.Name, Model: c.arch, Nodes: nodeCounts}
+		var base float64
+		for _, n := range nodeCounts {
+			_, tr, err := newTrainer(FwWholeGraph, n, c.ds, opts)
+			if err != nil {
+				return err
+			}
+			et := tr.RunEpoch().EpochTime
+			if n == 1 {
+				base = et
+			}
+			row.Speedup = append(row.Speedup, base/et)
+		}
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		cfg.printf("%-22s %-10s", row.Dataset, row.Model)
+		for _, s := range row.Speedup {
+			cfg.printf(" %6.2fx", s)
+		}
+		cfg.printf("\n")
 	}
 	// The paper's §IV-D claim: "80 epochs of a 3-layer GraphSAGE ... on
 	// ogbn-papers100M in 66 seconds with 8 DGX-A100 servers". Reproduce

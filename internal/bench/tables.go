@@ -129,7 +129,16 @@ func Table3(cfg Config) ([]Table3Row, error) {
 	fws := []Framework{FwDGL, FwPyG, FwWholeGraph}
 	cfg.printf("Table III: validation/test accuracy after %d epochs\n", cfg.Epochs)
 	cfg.printf("%-22s %-10s %18s %18s %18s\n", "Graph", "Model", "DGL", "PyG", "WholeGraph")
-	var rows []Table3Row
+	// One cell per dataset x model; each cell trains all three frameworks
+	// on its own machines. Datasets and eval sets are prepared up front
+	// (they are shared read-only across cells), rows print after the join.
+	type t3cell struct {
+		ds                   *dataset.Dataset
+		valIDs, testIDs      []int64
+		valLabels, tstLabels []int32
+		arch                 string
+	}
+	var cells []t3cell
 	for _, spec := range specs {
 		ds, err := generate(spec)
 		if err != nil {
@@ -138,28 +147,39 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		valIDs, valLabels := evalSet(cfg, ds, 3)
 		testIDs, testLabels := evalSet(cfg, ds, 4)
 		for _, arch := range models {
-			row := Table3Row{
-				Dataset: spec.Name, Model: arch,
-				Valid: map[Framework]float64{}, Test: map[Framework]float64{},
-			}
-			for _, fw := range fws {
-				_, tr, err := newTrainer(fw, 1, ds, cfg.accuracyOpts(arch))
-				if err != nil {
-					return nil, err
-				}
-				for e := 0; e < cfg.Epochs; e++ {
-					tr.RunEpoch()
-				}
-				row.Valid[fw] = tr.EvaluateWithLabels(valIDs, valLabels)
-				row.Test[fw] = tr.EvaluateWithLabels(testIDs, testLabels)
-			}
-			rows = append(rows, row)
-			cfg.printf("%-22s %-10s   %6.2f%% / %6.2f%%  %6.2f%% / %6.2f%%  %6.2f%% / %6.2f%%\n",
-				spec.Name, arch,
-				100*row.Valid[FwDGL], 100*row.Test[FwDGL],
-				100*row.Valid[FwPyG], 100*row.Test[FwPyG],
-				100*row.Valid[FwWholeGraph], 100*row.Test[FwWholeGraph])
+			cells = append(cells, t3cell{ds, valIDs, testIDs, valLabels, testLabels, arch})
 		}
+	}
+	rows := make([]Table3Row, len(cells))
+	err := cfg.runCells(len(cells), func(ci int) error {
+		c := cells[ci]
+		row := Table3Row{
+			Dataset: c.ds.Spec.Name, Model: c.arch,
+			Valid: map[Framework]float64{}, Test: map[Framework]float64{},
+		}
+		for _, fw := range fws {
+			_, tr, err := newTrainer(fw, 1, c.ds, cfg.accuracyOpts(c.arch))
+			if err != nil {
+				return err
+			}
+			for e := 0; e < cfg.Epochs; e++ {
+				tr.RunEpoch()
+			}
+			row.Valid[fw] = tr.EvaluateWithLabels(c.valIDs, c.valLabels)
+			row.Test[fw] = tr.EvaluateWithLabels(c.testIDs, c.tstLabels)
+		}
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		cfg.printf("%-22s %-10s   %6.2f%% / %6.2f%%  %6.2f%% / %6.2f%%  %6.2f%% / %6.2f%%\n",
+			row.Dataset, row.Model,
+			100*row.Valid[FwDGL], 100*row.Test[FwDGL],
+			100*row.Valid[FwPyG], 100*row.Test[FwPyG],
+			100*row.Valid[FwWholeGraph], 100*row.Test[FwWholeGraph])
 	}
 	return rows, nil
 }

@@ -45,12 +45,17 @@ func checkReqs(dim int, reqs []*Request) {
 }
 
 // SharedMem performs every request with one peer-access gather kernel and
-// returns the latest completion time across the devices.
+// returns the latest completion time across the devices. Requests must
+// target distinct devices (as on the real machine, where each GPU issues
+// its own gather kernel); they execute concurrently under sim.RunParallel.
 func SharedMem(feat *wholemem.Memory[float32], dim int, reqs []*Request) float64 {
 	checkReqs(dim, reqs)
+	sim.RunParallel(len(reqs), func(i int) {
+		r := reqs[i]
+		feat.GatherRows(r.Dev, r.Rows, dim, r.Out, "gather.shared")
+	})
 	end := 0.0
 	for _, r := range reqs {
-		feat.GatherRows(r.Dev, r.Rows, dim, r.Out, "gather.shared")
 		if r.Dev.Now() > end {
 			end = r.Dev.Now()
 		}
@@ -96,10 +101,11 @@ func DistributedWithBreakdown(feat *wholemem.Memory[float32], dim int, reqs []*R
 	bd.Start = sim.Barrier(devs)
 
 	// Step 1: bucket node IDs by home GPU. One pass over the ID list plus
-	// the bucketed write.
+	// the bucketed write. Each rank buckets its own request concurrently.
 	sendIDs := make([][][]int64, nRanks)
 	backPos := make([][][]int64, nRanks) // original position of each bucketed ID
-	for i, r := range reqs {
+	sim.RunParallel(len(reqs), func(i int) {
+		r := reqs[i]
 		sendIDs[i] = make([][]int64, nRanks)
 		backPos[i] = make([][]int64, nRanks)
 		for pos, row := range r.Rows {
@@ -111,7 +117,7 @@ func DistributedWithBreakdown(feat *wholemem.Memory[float32], dim int, reqs []*R
 			StreamBytes: float64(2 * 8 * len(r.Rows)),
 			Tag:         "gather.bucket",
 		})
-	}
+	})
 	bd.Steps[0] = sim.Barrier(devs)
 
 	// Step 2: send the per-pair counts, then the node IDs themselves.
@@ -126,9 +132,10 @@ func DistributedWithBreakdown(feat *wholemem.Memory[float32], dim int, reqs []*R
 	recvIDs := nccl.AlltoAllv(devs, sendIDs, 8)
 	bd.Steps[1] = sim.Barrier(devs)
 
-	// Step 3: every home GPU gathers locally for all requesters.
+	// Step 3: every home GPU gathers locally for all requesters,
+	// concurrently (each reads only its own shard).
 	sendFeats := make([][][]float32, nRanks)
-	for home := 0; home < nRanks; home++ {
+	sim.RunParallel(nRanks, func(home int) {
 		sendFeats[home] = make([][]float32, nRanks)
 		var rows int64
 		shard := feat.Shard(home)
@@ -148,15 +155,16 @@ func DistributedWithBreakdown(feat *wholemem.Memory[float32], dim int, reqs []*R
 			StreamBytes: float64(rows * int64(dim) * 4),
 			Tag:         "gather.local",
 		})
-	}
+	})
 	bd.Steps[2] = sim.Barrier(devs)
 
 	// Step 4: AlltoAllv the gathered features back to the requesters.
 	recvFeats := nccl.AlltoAllv(devs, sendFeats, 4)
 	bd.Steps[3] = sim.Barrier(devs)
 
-	// Step 5: local reorder into the original input order.
-	for i, r := range reqs {
+	// Step 5: local reorder into the original input order, per rank.
+	sim.RunParallel(len(reqs), func(i int) {
+		r := reqs[i]
 		for home := 0; home < nRanks; home++ {
 			buf := recvFeats[i][home]
 			for k, pos := range backPos[i][home] {
@@ -167,7 +175,7 @@ func DistributedWithBreakdown(feat *wholemem.Memory[float32], dim int, reqs []*R
 			StreamBytes: float64(2 * 4 * len(r.Rows) * dim),
 			Tag:         "gather.reorder",
 		})
-	}
+	})
 	bd.Steps[4] = sim.Barrier(devs)
 	return bd.Steps[4], bd
 }

@@ -32,6 +32,11 @@ type Engine struct {
 	// tables[l] holds the output embeddings of layer l, sharded like the
 	// node partition.
 	tables []*wholemem.Memory[float32]
+	// replicas[r] is rank r's private copy of Model: forwarding binds the
+	// parameter set to a tape, so concurrently forwarding ranks cannot
+	// share one model. replicas[0] aliases Model; the rest are refreshed
+	// from Model's weights at the start of every Run.
+	replicas []gnn.LayerwiseModel
 }
 
 // NewEngine validates the model against the store and allocates the
@@ -49,6 +54,15 @@ func NewEngine(store *core.Store, model gnn.LayerwiseModel) (*Engine, error) {
 	for l := 0; l < model.NumLayers(); l++ {
 		e.tables = append(e.tables,
 			wholemem.AllocSharded[float32](store.Comm, featShardSizes(pg, cfg.LayerOutDim(l))))
+	}
+	e.replicas = make([]gnn.LayerwiseModel, store.Comm.Size())
+	e.replicas[0] = model
+	for r := 1; r < len(e.replicas); r++ {
+		rep, ok := gnn.New(model.Name(), cfg).(gnn.LayerwiseModel)
+		if !ok {
+			return nil, fmt.Errorf("infer: %s replica does not implement LayerwiseModel", model.Name())
+		}
+		e.replicas[r] = rep
 	}
 	return e, nil
 }
@@ -69,29 +83,37 @@ func FullGraph(store *core.Store, model gnn.LayerwiseModel) (*tensor.Dense, erro
 // its own hash partition, reading input embeddings (its nodes' full
 // neighborhoods) from the previous layer's shared table; ranks synchronize
 // between layers. All aggregation, gathers and scatters are charged to the
-// device clocks.
+// device clocks. Within a layer, the ranks run on real goroutines
+// (sim.RunParallel): each owns its device and model replica, reads the
+// previous layer's table (frozen between barriers), and scatters a disjoint
+// row range of the next table.
 func (e *Engine) Run() (*tensor.Dense, error) {
 	pg := e.Store.PG
-	model := e.Model
 	devs := e.Store.Comm.Devs
+	for r := 1; r < len(e.replicas); r++ {
+		e.replicas[r].Params().CopyFrom(e.Model.Params())
+	}
 
 	// Layer 0 reads the stored features; each subsequent layer reads the
 	// shared embedding table the previous layer wrote.
 	cur := pg.Feat
 	curDim := pg.Dim
-	for l := 0; l < model.NumLayers(); l++ {
-		last := l == model.NumLayers()-1
-		outDim := model.Config().LayerOutDim(l)
+	for l := 0; l < e.Model.NumLayers(); l++ {
+		last := l == e.Model.NumLayers()-1
+		outDim := e.Model.Config().LayerOutDim(l)
 		out := e.tables[l]
-		for r, dev := range devs {
+		in, inDim := cur, curDim
+		sim.RunParallel(len(devs), func(r int) {
+			dev := devs[r]
+			model := e.replicas[r]
 			blk, uniq := rankBlock(dev, pg, r)
 			// Gather the block's input embeddings from the shared table.
 			rows := make([]int64, len(uniq))
 			for i, gid := range uniq {
 				rows[i] = pg.FeatRow(gid)
 			}
-			x := tensor.New(len(uniq), curDim)
-			cur.GatherRows(dev, rows, curDim, x.V, "infer.gather")
+			x := tensor.New(len(uniq), inDim)
+			in.GatherRows(dev, rows, inDim, x.V, "infer.gather")
 
 			tp := autograd.NewTape()
 			model.Params().Bind(tp)
@@ -105,7 +127,7 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 				outRows[i] = base + int64(i)
 			}
 			out.ScatterRows(dev, outRows, outDim, y.Value.V, "infer.scatter")
-		}
+		})
 		sim.Barrier(devs)
 		cur = out
 		curDim = outDim

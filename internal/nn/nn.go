@@ -51,10 +51,29 @@ func (s *ParamSet) NumElements() int64 {
 }
 
 // Bind creates fresh tape variables for every parameter at the start of an
-// iteration. It must be called once per tape before layers use Var.
+// iteration. It must be called once per tape before layers use Var. Bind
+// mutates the parameters' current-tape binding, so goroutines that forward
+// concurrently need their own ParamSet (see CopyFrom).
 func (s *ParamSet) Bind(tp *autograd.Tape) {
 	for _, p := range s.list {
 		p.cur = tp.Param(p.W)
+	}
+}
+
+// CopyFrom copies src's parameter values into s, matching by registration
+// order. It panics if the sets have different structure; optimizer state and
+// tape bindings are not copied. It is how per-goroutine model replicas are
+// refreshed from a shared master before a parallel forward pass.
+func (s *ParamSet) CopyFrom(src *ParamSet) {
+	if len(s.list) != len(src.list) {
+		panic(fmt.Sprintf("nn: CopyFrom across different models: %d vs %d params", len(s.list), len(src.list)))
+	}
+	for i, p := range s.list {
+		q := src.list[i]
+		if p.W.R != q.W.R || p.W.C != q.W.C {
+			panic(fmt.Sprintf("nn: CopyFrom shape mismatch at %s: %dx%d vs %dx%d", p.Name, p.W.R, p.W.C, q.W.R, q.W.C))
+		}
+		copy(p.W.V, q.W.V)
 	}
 }
 

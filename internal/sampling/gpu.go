@@ -23,6 +23,13 @@ type Neighborhood struct {
 // and reads the graph structure (row pointers and sampled neighbor IDs)
 // directly from whichever GPU owns them, over NVLink, inside the sampling
 // kernel. Neighbor selection uses Algorithm 1.
+//
+// Concurrency contract: a sampler is owned by its device's goroutine
+// (sim/exec.go ownership model). It mutates only its own Rng and charges
+// only its own Dev; the partitioned graph is immutable after construction.
+// Samplers on distinct devices may therefore run concurrently, and each
+// worker's seeded Rng stream makes the sampled neighborhoods independent of
+// how the workers are scheduled.
 type GPUSampler struct {
 	PG  *graph.Partitioned
 	Dev *sim.Device

@@ -16,6 +16,9 @@ type DeviceStats struct {
 
 // Device is one simulated GPU. All methods advance the device's virtual
 // clock; none of them are safe for concurrent use on the same device.
+// Under RunParallel, each device is owned by exactly one goroutine between
+// barriers (see exec.go); distinct devices may be driven concurrently
+// because a device's clock, trace and stats are touched only by its owner.
 type Device struct {
 	ID    int // global device index
 	Node  int // machine node index
@@ -218,7 +221,9 @@ func (d *Device) ChaseUM(n int, workingSetGB float64) float64 {
 }
 
 // CPU is the host executor of one node. Baseline (host-memory) pipelines
-// charge their sampling and gathering here.
+// charge their sampling and gathering here. Like a Device, a CPU is owned
+// by one goroutine between barriers; pipelines needing concurrent host
+// executors register extras with Machine.AddCPU.
 type CPU struct {
 	Node int
 

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelCoversAllSlots(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		prev := SetParallel(on)
+		hits := make([]int32, 64)
+		RunParallel(len(hits), func(slot int) {
+			atomic.AddInt32(&hits[slot], 1)
+		})
+		SetParallel(prev)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallel=%v: slot %d ran %d times", on, i, h)
+			}
+		}
+	}
+}
+
+func TestRunParallelSerialOrder(t *testing.T) {
+	prev := SetParallel(false)
+	defer SetParallel(prev)
+	var order []int
+	RunParallel(5, func(slot int) { order = append(order, slot) })
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunParallelZeroAndOne(t *testing.T) {
+	RunParallel(0, func(int) { t.Fatal("n=0 ran a slot") })
+	ran := false
+	RunParallel(1, func(slot int) { ran = slot == 0 })
+	if !ran {
+		t.Fatal("n=1 did not run slot 0")
+	}
+}
+
+func TestRunParallelPanicPropagates(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		prev := SetParallel(on)
+		var completed atomic.Int32
+		func() {
+			defer func() {
+				if r := recover(); r != "boom2" {
+					t.Fatalf("parallel=%v: recovered %v, want boom2", on, r)
+				}
+			}()
+			RunParallel(4, func(slot int) {
+				if slot == 2 {
+					panic("boom2")
+				}
+				completed.Add(1)
+			})
+			t.Fatalf("parallel=%v: panic swallowed", on)
+		}()
+		SetParallel(prev)
+		// In parallel mode every other slot still runs to completion before
+		// the panic is re-raised; serial mode stops at the panicking slot.
+		if on && completed.Load() != 3 {
+			t.Fatalf("parallel: %d slots completed, want 3", completed.Load())
+		}
+	}
+}
+
+func TestRunParallelDeviceOwnership(t *testing.T) {
+	m := NewMachine(DGXA100(1))
+	RunParallel(len(m.Devs), func(slot int) {
+		m.Devs[slot].Gemm(64, 64, 64, "own")
+		m.Devs[slot].Kernel(KernelCost{StreamBytes: 1 << 20})
+	})
+	want := m.Devs[0].Now()
+	if want <= 0 {
+		t.Fatal("no time charged")
+	}
+	for _, d := range m.Devs {
+		if d.Now() != want {
+			t.Fatalf("identical work, different clocks: %g vs %g", d.Now(), want)
+		}
+	}
+}
+
+func TestAddCPU(t *testing.T) {
+	m := NewMachine(DGXA100(2))
+	c := m.AddCPU(1)
+	if c.Node != 1 {
+		t.Fatalf("node %d", c.Node)
+	}
+	if len(m.CPUs) != 3 || m.CPUs[0].Node != 0 || m.CPUs[1].Node != 1 {
+		t.Fatal("primary CPU indexing broken")
+	}
+	c.Advance(2.5)
+	if m.MaxTime() != 2.5 {
+		t.Fatalf("MaxTime %g ignores extra CPU", m.MaxTime())
+	}
+	m.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset missed extra CPU")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node accepted")
+		}
+	}()
+	m.AddCPU(2)
+}

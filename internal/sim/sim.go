@@ -212,6 +212,21 @@ func (m *Machine) NodeDevs(node int) []*Device {
 	return m.Devs[node*g : (node+1)*g]
 }
 
+// AddCPU registers an additional host executor on the given node and returns
+// it. Extra CPUs model independent host processes (e.g. one dataloader
+// process per training worker, as DGL/PyG spawn) whose clocks advance
+// independently; they participate in Reset and MaxTime like the per-node
+// primary CPUs. The first Nodes entries of m.CPUs remain the per-node
+// primaries, so m.CPUs[node] indexing stays valid.
+func (m *Machine) AddCPU(node int) *CPU {
+	if node < 0 || node >= m.Cfg.Nodes {
+		panic(fmt.Sprintf("sim: AddCPU node %d out of range [0,%d)", node, m.Cfg.Nodes))
+	}
+	c := &CPU{m: m, Node: node}
+	m.CPUs = append(m.CPUs, c)
+	return c
+}
+
 // Reset zeroes all clocks, traces and statistics, keeping the topology.
 func (m *Machine) Reset() {
 	for _, d := range m.Devs {
@@ -242,7 +257,9 @@ func (m *Machine) MaxTime() float64 {
 
 // Barrier synchronizes the clocks of the given devices to their maximum,
 // modelling a blocking synchronization point (e.g. the implicit barrier in a
-// collective). Idle time is recorded on devices that arrive early.
+// collective). Idle time is recorded on devices that arrive early. Barrier
+// reads and advances every given clock, so it must run from the
+// orchestrating goroutine, never from inside a RunParallel region.
 func Barrier(devs []*Device) float64 {
 	t := 0.0
 	for _, d := range devs {

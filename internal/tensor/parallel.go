@@ -11,11 +11,19 @@ import (
 // changes nothing numerically — results are bit-identical to the serial
 // path. The worker count defaults to GOMAXPROCS and can be pinned for
 // reproducible benchmarking.
+//
+// Work runs on a lazily started persistent pool rather than per-call
+// goroutines: a parallelRows call enqueues its chunks on a shared task
+// channel and executes the last chunk itself. When the queue is full (e.g.
+// many simulated devices inside sim.RunParallel all hitting dense kernels
+// at once) the submitting goroutine runs the chunk inline, which both
+// bounds memory and makes nested parallelism deadlock-free.
 
 var numWorkers int64 = int64(runtime.GOMAXPROCS(0))
 
 // SetWorkers sets the number of goroutines row-parallel kernels may use
-// (minimum 1) and returns the previous setting.
+// (minimum 1) and returns the previous setting. SetWorkers(1) disables
+// chunking entirely; the pool itself persists once started.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
@@ -26,27 +34,62 @@ func SetWorkers(n int) int {
 // Workers returns the current worker count.
 func Workers() int { return int(atomic.LoadInt64(&numWorkers)) }
 
+var pool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+// startPool launches the persistent workers, once, sized to the physical
+// parallelism of the host (not Workers(), which callers may raise and lower
+// at will).
+func startPool() {
+	pool.once.Do(func() {
+		n := runtime.NumCPU()
+		pool.tasks = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range pool.tasks {
+					t()
+				}
+			}()
+		}
+	})
+}
+
 // parallelRows invokes f over disjoint [lo, hi) row ranges covering [0, n),
 // in parallel when both the worker count and the row count warrant it.
+// Chunk sizes differ by at most one row (the first n%w chunks take the
+// extra row), so no tail chunk straggles.
 func parallelRows(n int, f func(lo, hi int)) {
 	w := Workers()
-	// Tiny matrices are not worth the goroutine round-trip.
+	// Tiny matrices are not worth the round-trip through the pool.
 	if w <= 1 || n < 4*w {
 		f(0, n)
 		return
 	}
+	startPool()
+	base, extra := n/w, n%w
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	lo := 0
+	for i := 0; i < w-1; i++ {
+		hi := lo + base
+		if i < extra {
+			hi++
 		}
+		cl, ch := lo, hi
+		lo = hi
 		wg.Add(1)
-		go func(lo, hi int) {
+		task := func() {
 			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
+			f(cl, ch)
+		}
+		select {
+		case pool.tasks <- task:
+		default:
+			task() // queue full: run inline on the submitter
+		}
 	}
+	// The caller works the final chunk itself instead of idling in Wait.
+	f(lo, n)
 	wg.Wait()
 }

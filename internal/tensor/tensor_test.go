@@ -3,6 +3,9 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -396,3 +399,91 @@ func TestSetWorkersClamps(t *testing.T) {
 		t.Errorf("workers = %d, want restored %d", Workers(), prev)
 	}
 }
+
+func TestParallelRowsBalancedCoverage(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	for _, w := range []int{2, 3, 7, 8} {
+		for _, n := range []int{4 * w, 4*w + 1, 97, 128} {
+			SetWorkers(w)
+			var mu sync.Mutex
+			covered := make([]int32, n)
+			var sizes []int
+			parallelRows(n, func(lo, hi int) {
+				mu.Lock()
+				sizes = append(sizes, hi-lo)
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("w=%d n=%d: row %d covered %d times", w, n, i, c)
+				}
+			}
+			// Balanced chunking: sizes differ by at most one row.
+			mn, mx := sizes[0], sizes[0]
+			for _, s := range sizes {
+				if s < mn {
+					mn = s
+				}
+				if s > mx {
+					mx = s
+				}
+			}
+			if mx-mn > 1 {
+				t.Fatalf("w=%d n=%d: chunk sizes %v not balanced", w, n, sizes)
+			}
+		}
+	}
+}
+
+// TestParallelRowsConcurrentCallers drives many simultaneous parallelRows
+// calls through the shared pool, the shape sim.RunParallel regions produce;
+// the inline-fallback path must keep this deadlock-free and correct.
+func TestParallelRowsConcurrentCallers(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const callers, n = 16, 64
+	var wg sync.WaitGroup
+	sums := make([]int64, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				var sum int64
+				parallelRows(n, func(lo, hi int) {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					atomic.AddInt64(&sum, s)
+				})
+				if sum != n*(n-1)/2 {
+					t.Errorf("caller %d: sum %d", c, sum)
+					return
+				}
+				sums[c] = sum
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func benchMatMul(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(256, 128, 1, rng)
+	y := Randn(128, 128, 1, rng)
+	prev := SetWorkers(workers)
+	defer SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulSerial(b *testing.B)  { benchMatMul(b, 1) }
+func BenchmarkMatMulPooled(b *testing.B)  { benchMatMul(b, runtime.NumCPU()) }
+func BenchmarkMatMulPooled8(b *testing.B) { benchMatMul(b, 8) }

@@ -8,7 +8,11 @@
 // number of representative workers for real (default 1) and mirrors their
 // measured per-iteration time onto the remaining devices; collectives are
 // charged over the full machine. Epoch times and phase breakdowns are
-// virtual seconds.
+// virtual seconds. Real workers execute on real goroutines between gradient
+// synchronization points (sim.RunParallel): each worker owns its device,
+// loader and model replica, and the loss/accuracy sums are reduced in
+// worker order after the join, so results are bit-identical to serial
+// execution regardless of sim.SetParallel.
 package train
 
 import (
@@ -257,10 +261,20 @@ func (t *Trainer) RunEpoch() EpochStats {
 	var lossSum, accSum float64
 	timings := make([]core.Timing, len(t.Models))
 	trainStart := make([]float64, len(t.Models))
+	// Per-worker results of one iteration's parallel region; losses and
+	// accuracies are reduced in worker order after the join so the sums are
+	// bit-identical to serial execution.
+	type workerResult struct {
+		loss, acc float64
+	}
+	results := make([]workerResult, len(t.Models))
 	for it := 0; it < measured; it++ {
 		iterStart := t.Machine.MaxTime()
-		// Forward + backward on every real worker.
-		for w, mdl := range t.Models {
+		// Forward + backward on every real worker. Workers are independent
+		// until the gradient AllReduce: each owns its device, loader, model
+		// replica and RNG streams, so they run on real goroutines.
+		sim.RunParallel(len(t.Models), func(w int) {
+			mdl := t.Models[w]
 			dev := t.loaders[w].Device()
 			bIDs := batches[w][it%len(batches[w])]
 			b, tm := t.loaders[w].BuildBatch(bIDs)
@@ -269,9 +283,15 @@ func (t *Trainer) RunEpoch() EpochStats {
 			tp := autograd.NewTape()
 			logits := mdl.Forward(dev, tp, b, true)
 			grad := tensor.New(logits.Value.R, logits.Value.C)
-			lossSum += tensor.CrossEntropy(logits.Value, b.Labels, grad)
-			accSum += tensor.Accuracy(logits.Value, b.Labels)
+			results[w] = workerResult{
+				loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
+				acc:  tensor.Accuracy(logits.Value, b.Labels),
+			}
 			tp.Backward(logits, grad)
+		})
+		for w := range results {
+			lossSum += results[w].loss
+			accSum += results[w].acc
 		}
 		// Mirror the real workers' busy time onto the non-real devices so
 		// the AllReduce barrier sees a realistic arrival pattern.
@@ -291,15 +311,18 @@ func (t *Trainer) RunEpoch() EpochStats {
 			})
 		}
 		// Data parallelism: average gradients across replicas, then every
-		// worker takes the identical optimizer step.
+		// worker takes the identical optimizer step on its own replica.
 		t.averageGradients()
-		for w, mdl := range t.Models {
+		sim.RunParallel(len(t.Models), func(w int) {
+			mdl := t.Models[w]
 			dev := t.loaders[w].Device()
 			if t.Opts.ClipNorm > 0 {
 				nn.ClipGradNorm(mdl.Params(), t.Opts.ClipNorm)
 			}
 			t.Opts4[w].Step(dev, mdl.Params())
 			timings[w].Train += dev.Now() - trainStart[w]
+		})
+		for w := range t.Models {
 			stats.Timing.Add(timings[w])
 		}
 	}

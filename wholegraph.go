@@ -44,6 +44,7 @@ import (
 	"wholegraph/internal/sampling"
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
 	"wholegraph/internal/train"
 	"wholegraph/internal/unique"
 	"wholegraph/internal/wholemem"
@@ -75,6 +76,24 @@ func NewMachine(cfg MachineConfig) *Machine { return sim.NewMachine(cfg) }
 // DGXA100Config returns the calibrated DGX-A100 configuration for callers
 // that want to tweak hardware parameters before NewMachine.
 func DGXA100Config(nodes int) MachineConfig { return sim.DGXA100(nodes) }
+
+// SetParallel toggles real-goroutine execution of simulated workers
+// (training workers, inference ranks, gather pipelines). It is on by
+// default; turning it off forces the serial reference path. Both paths
+// produce bit-identical results and virtual times — only wall-clock time
+// changes. Returns the previous setting.
+func SetParallel(on bool) bool { return sim.SetParallel(on) }
+
+// ParallelEnabled reports whether parallel device execution is on.
+func ParallelEnabled() bool { return sim.ParallelEnabled() }
+
+// SetTensorWorkers sets how many goroutines the tensor kernels may use for
+// row-parallel loops (0 restores the default, runtime.NumCPU). Returns the
+// previous setting.
+func SetTensorWorkers(n int) int { return tensor.SetWorkers(n) }
+
+// TensorWorkers reports the current tensor kernel worker count.
+func TensorWorkers() int { return tensor.Workers() }
 
 // --- Datasets ---
 
