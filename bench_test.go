@@ -175,10 +175,31 @@ func BenchmarkAppendUnique(b *testing.B) {
 		v := rng.Intn(20000)
 		neighbors[i] = graph.MakeGlobalID(v%8, int64(v))
 	}
+	ded := unique.NewDeduper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		unique.AppendUnique(nil, targets, neighbors)
+		ded.AppendUnique(nil, targets, neighbors)
+	}
+}
+
+// BenchmarkAppendUniqueSort measures the radix-sort ablation baseline on
+// the same workload as BenchmarkAppendUnique.
+func BenchmarkAppendUniqueSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	targets := make([]graph.GlobalID, 512)
+	for i := range targets {
+		targets[i] = graph.MakeGlobalID(i%8, int64(100000+i))
+	}
+	neighbors := make([]graph.GlobalID, 512*30)
+	for i := range neighbors {
+		v := rng.Intn(20000)
+		neighbors[i] = graph.MakeGlobalID(v%8, int64(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unique.AppendUniqueSort(nil, targets, neighbors)
 	}
 }
 
@@ -204,12 +225,13 @@ func benchmarkSpMM(b *testing.B, be spops.Backend) {
 		g.DupCount[c]++
 	}
 	x := tensor.Randn(8000, 64, 1, rng)
+	tp := autograd.NewTapeArena(tensor.NewArena())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tp := autograd.NewTape()
+		tp.Reset()
 		out := spops.SpMM(nil, be, g, tp.Param(x), nil, spops.AggMean)
-		tp.Backward(out, tensor.New(out.Value.R, out.Value.C))
+		tp.Backward(out, tp.NewTensor(out.Value.R, out.Value.C))
 	}
 }
 

@@ -9,6 +9,7 @@
 //	wgbench -exp fig8,fig10 -quick   # fast pass with reduced models
 //	wgbench -exp table3 -parallel    # fan independent cells across cores
 //	wgbench -exp all -json out.json  # machine-readable results
+//	wgbench -exp fig9 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Reported times are virtual seconds from the machine simulation; see
 // EXPERIMENTS.md for the paper-vs-measured comparison and the scaling
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -95,6 +97,8 @@ func main() {
 		parallel = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	)
 	flag.Parse()
 
@@ -116,6 +120,34 @@ func main() {
 	report := jsonReport{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wgbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wgbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wgbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "wgbench: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	start := time.Now()
 	ran := 0

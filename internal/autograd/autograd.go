@@ -46,31 +46,140 @@ func (v *Var) AccumGrad(g *tensor.Dense) {
 		return
 	}
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Value.R, v.Value.C)
+		v.Grad = v.tape.NewTensor(v.Value.R, v.Value.C)
 	}
 	tensor.AccumInto(v.Grad, g)
 }
 
 // Tape records operations in execution order for reverse-mode replay.
+//
+// A tape may be backed by a tensor.Arena (NewTapeArena): every tensor it
+// hands out through NewTensor/NewView/Scratch is then pooled and recycled
+// by Reset, together with the Var nodes themselves, making the
+// second-and-later training iterations allocation-free. A tape (and its
+// arena) is owned by one worker goroutine, like the device it trains on.
 type Tape struct {
 	nodes []*Var
+
+	arena *tensor.Arena // nil: plain allocation, nothing recycled
+	vars  []*Var        // every Var handed out since the last Reset
+	free  []*Var        // recycled Var nodes
+	owned []*tensor.Dense
+	views []*tensor.Dense
+	bufs  [][]float32
 }
 
 // NewTape returns an empty tape. A fresh tape is typically created per
-// training iteration.
+// training iteration; steady-state loops instead keep one arena-backed tape
+// per worker (NewTapeArena) and Reset it between iterations.
 func NewTape() *Tape { return &Tape{} }
+
+// NewTapeArena returns a tape whose scratch tensors are pooled in a: Reset
+// returns them (and the tape's Var nodes) to the pool for the next
+// iteration. The arena must be owned by the same goroutine as the tape.
+func NewTapeArena(a *tensor.Arena) *Tape { return &Tape{arena: a} }
+
+// Arena returns the backing arena, or nil for a plain tape.
+func (t *Tape) Arena() *tensor.Arena { return t.arena }
 
 // Len returns the number of recorded non-leaf operations.
 func (t *Tape) Len() int { return len(t.nodes) }
 
+// NewTensor returns a zeroed [r x c] tensor owned by the tape: with an
+// arena it is pooled memory that Reset reclaims, without one it is a plain
+// allocation. All op outputs and gradients are allocated through it.
+func (t *Tape) NewTensor(r, c int) *tensor.Dense {
+	if t == nil || t.arena == nil {
+		return tensor.New(r, c)
+	}
+	d := t.arena.Get(r, c)
+	t.owned = append(t.owned, d)
+	return d
+}
+
+// NewView returns an [r x c] header over v (not copied). The header is
+// pooled; the backing memory stays whoever's it was.
+func (t *Tape) NewView(r, c int, v []float32) *tensor.Dense {
+	if t == nil || t.arena == nil {
+		return tensor.FromSlice(r, c, v)
+	}
+	d := t.arena.View(r, c, v)
+	t.views = append(t.views, d)
+	return d
+}
+
+// Scratch returns a zeroed float32 slice of length n that lives until the
+// next Reset. Ops use it for per-call workspaces (SpMM norms) that their
+// backward closures capture.
+func (t *Tape) Scratch(n int) []float32 {
+	if t == nil || t.arena == nil {
+		return make([]float32, n)
+	}
+	v := t.arena.GetSlice(n)
+	t.bufs = append(t.bufs, v)
+	return v
+}
+
+// Reset clears the tape for the next iteration, recycling every Var node
+// and every arena-backed tensor handed out since the previous Reset. All
+// Vars and tape-owned tensors from before the Reset are invalidated — the
+// caller must not hold on to logits, gradients or views across it.
+func (t *Tape) Reset() {
+	clear(t.nodes)
+	t.nodes = t.nodes[:0]
+	for _, v := range t.vars {
+		v.Value, v.Grad, v.inputs, v.back, v.needGrad = nil, nil, nil, nil, false
+		t.free = append(t.free, v)
+	}
+	clear(t.vars)
+	t.vars = t.vars[:0]
+	if t.arena != nil {
+		for i, d := range t.owned {
+			t.arena.Put(d)
+			t.owned[i] = nil
+		}
+		t.owned = t.owned[:0]
+		for i, d := range t.views {
+			t.arena.PutHeader(d)
+			t.views[i] = nil
+		}
+		t.views = t.views[:0]
+		for i, v := range t.bufs {
+			t.arena.PutSlice(v)
+			t.bufs[i] = nil
+		}
+		t.bufs = t.bufs[:0]
+	}
+}
+
+// newVar pops a recycled Var node or allocates one; every Var the tape
+// hands out is tracked for recycling at Reset.
+func (t *Tape) newVar() *Var {
+	var v *Var
+	if n := len(t.free); n > 0 {
+		v = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		v = &Var{}
+	}
+	v.tape = t
+	t.vars = append(t.vars, v)
+	return v
+}
+
 // Param wraps a trainable parameter (gradients accumulate into it).
 func (t *Tape) Param(v *tensor.Dense) *Var {
-	return &Var{Value: v, tape: t, needGrad: true}
+	p := t.newVar()
+	p.Value, p.needGrad = v, true
+	return p
 }
 
 // Const wraps a constant input (no gradient).
 func (t *Tape) Const(v *tensor.Dense) *Var {
-	return &Var{Value: v, tape: t, needGrad: false}
+	p := t.newVar()
+	p.Value, p.needGrad = v, false
+	return p
 }
 
 // Op records a custom operation producing out from inputs, with back
@@ -86,7 +195,8 @@ func (t *Tape) Op(out *tensor.Dense, inputs []*Var, back func(v *Var)) *Var {
 			need = true
 		}
 	}
-	v := &Var{Value: out, tape: t, needGrad: need, inputs: inputs, back: back}
+	v := t.newVar()
+	v.Value, v.needGrad, v.inputs, v.back = out, need, inputs, back
 	if need {
 		t.nodes = append(t.nodes, v)
 	}
@@ -117,15 +227,16 @@ func (t *Tape) Backward(loss *Var, seed *tensor.Dense) {
 
 // MatMul returns x*w with gradients to both inputs.
 func MatMul(x, w *Var) *Var {
-	out := tensor.MatMul(x.Value, w.Value)
+	out := x.tape.NewTensor(x.Value.R, w.Value.C)
+	tensor.MatMulInto(out, x.Value, w.Value)
 	return x.tape.Op(out, []*Var{x, w}, func(v *Var) {
 		if x.needGrad {
-			gx := tensor.New(x.Value.R, x.Value.C)
+			gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 			tensor.MatMulTInto(gx, v.Grad, w.Value) // dX = dY * Wᵀ
 			x.AccumGrad(gx)
 		}
 		if w.needGrad {
-			gw := tensor.New(w.Value.R, w.Value.C)
+			gw := w.tape.NewTensor(w.Value.R, w.Value.C)
 			tensor.TMatMulInto(gw, x.Value, v.Grad) // dW = Xᵀ * dY
 			w.AccumGrad(gw)
 		}
@@ -134,7 +245,7 @@ func MatMul(x, w *Var) *Var {
 
 // Add returns a + b elementwise.
 func Add(a, b *Var) *Var {
-	out := tensor.New(a.Value.R, a.Value.C)
+	out := a.tape.NewTensor(a.Value.R, a.Value.C)
 	tensor.AddInto(out, a.Value, b.Value)
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		a.AccumGrad(v.Grad)
@@ -144,12 +255,12 @@ func Add(a, b *Var) *Var {
 
 // AddBias returns x with the (1 x C) bias row added to every row.
 func AddBias(x, b *Var) *Var {
-	out := tensor.New(x.Value.R, x.Value.C)
+	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.AddRowInto(out, x.Value, b.Value)
 	return x.tape.Op(out, []*Var{x, b}, func(v *Var) {
 		x.AccumGrad(v.Grad)
 		if b.needGrad {
-			gb := tensor.New(1, b.Value.C)
+			gb := b.tape.NewTensor(1, b.Value.C)
 			tensor.ColSumInto(gb, v.Grad)
 			b.AccumGrad(gb)
 		}
@@ -158,10 +269,10 @@ func AddBias(x, b *Var) *Var {
 
 // ReLU returns max(x, 0).
 func ReLU(x *Var) *Var {
-	out := tensor.New(x.Value.R, x.Value.C)
+	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ReLUInto(out, x.Value)
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.ReLUGradInto(gx, x.Value, v.Grad)
 		x.AccumGrad(gx)
 	})
@@ -169,10 +280,10 @@ func ReLU(x *Var) *Var {
 
 // Scale returns s*x.
 func Scale(x *Var, s float32) *Var {
-	out := tensor.New(x.Value.R, x.Value.C)
+	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ScaleInto(out, x.Value, s)
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.ScaleInto(gx, v.Grad, s)
 		x.AccumGrad(gx)
 	})
@@ -181,11 +292,11 @@ func Scale(x *Var, s float32) *Var {
 // Dropout zeroes entries with probability p (rnd yields uniforms in [0,1)),
 // scaling survivors by 1/(1-p). With p <= 0 it is the identity.
 func Dropout(x *Var, p float32, rnd func() float32) *Var {
-	out := tensor.New(x.Value.R, x.Value.C)
-	mask := tensor.New(x.Value.R, x.Value.C)
+	out := x.tape.NewTensor(x.Value.R, x.Value.C)
+	mask := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.DropoutInto(out, x.Value, mask, p, rnd)
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.MulInto(gx, v.Grad, mask)
 		x.AccumGrad(gx)
 	})
@@ -198,9 +309,9 @@ func Rows(x *Var, n int) *Var {
 	if n > x.Value.R {
 		panic(fmt.Sprintf("autograd: Rows(%d) of %d-row matrix", n, x.Value.R))
 	}
-	out := tensor.FromSlice(n, x.Value.C, x.Value.V[:n*x.Value.C])
+	out := x.tape.NewView(n, x.Value.C, x.Value.V[:n*x.Value.C])
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		copy(gx.V[:n*x.Value.C], v.Grad.V)
 		x.AccumGrad(gx)
 	})
@@ -212,21 +323,21 @@ func ConcatCols(a, b *Var) *Var {
 		panic("autograd: ConcatCols row mismatch")
 	}
 	ca, cb := a.Value.C, b.Value.C
-	out := tensor.New(a.Value.R, ca+cb)
+	out := a.tape.NewTensor(a.Value.R, ca+cb)
 	for i := 0; i < a.Value.R; i++ {
 		copy(out.Row(i)[:ca], a.Value.Row(i))
 		copy(out.Row(i)[ca:], b.Value.Row(i))
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
-			ga := tensor.New(a.Value.R, ca)
+			ga := a.tape.NewTensor(a.Value.R, ca)
 			for i := 0; i < a.Value.R; i++ {
 				copy(ga.Row(i), v.Grad.Row(i)[:ca])
 			}
 			a.AccumGrad(ga)
 		}
 		if b.needGrad {
-			gb := tensor.New(b.Value.R, cb)
+			gb := b.tape.NewTensor(b.Value.R, cb)
 			for i := 0; i < b.Value.R; i++ {
 				copy(gb.Row(i), v.Grad.Row(i)[ca:])
 			}
@@ -240,12 +351,12 @@ func ConcatCols(a, b *Var) *Var {
 // rows. Link-prediction heads use it to pull endpoint embeddings out of an
 // encoder's output block.
 func GatherRows(x *Var, idx []int) *Var {
-	out := tensor.New(len(idx), x.Value.C)
+	out := x.tape.NewTensor(len(idx), x.Value.C)
 	for i, r := range idx {
 		copy(out.Row(i), x.Value.Row(r))
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		for i, r := range idx {
 			dst := gx.Row(r)
 			src := v.Grad.Row(i)
@@ -262,7 +373,7 @@ func RowDot(a, b *Var) *Var {
 	if !a.Value.SameShape(b.Value) {
 		panic("autograd: RowDot shape mismatch")
 	}
-	out := tensor.New(a.Value.R, 1)
+	out := a.tape.NewTensor(a.Value.R, 1)
 	for i := 0; i < a.Value.R; i++ {
 		var s float32
 		ar, br := a.Value.Row(i), b.Value.Row(i)
@@ -273,7 +384,7 @@ func RowDot(a, b *Var) *Var {
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
-			ga := tensor.New(a.Value.R, a.Value.C)
+			ga := a.tape.NewTensor(a.Value.R, a.Value.C)
 			for i := 0; i < a.Value.R; i++ {
 				g := v.Grad.V[i]
 				br, gr := b.Value.Row(i), ga.Row(i)
@@ -284,7 +395,7 @@ func RowDot(a, b *Var) *Var {
 			a.AccumGrad(ga)
 		}
 		if b.needGrad {
-			gb := tensor.New(b.Value.R, b.Value.C)
+			gb := b.tape.NewTensor(b.Value.R, b.Value.C)
 			for i := 0; i < b.Value.R; i++ {
 				g := v.Grad.V[i]
 				ar, gr := a.Value.Row(i), gb.Row(i)
@@ -305,11 +416,11 @@ func ScaleByScalarPlusOne(x, s *Var) *Var {
 		panic("autograd: scalar must be 1x1")
 	}
 	factor := 1 + s.Value.V[0]
-	out := tensor.New(x.Value.R, x.Value.C)
+	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ScaleInto(out, x.Value, factor)
 	return x.tape.Op(out, []*Var{x, s}, func(v *Var) {
 		if x.needGrad {
-			gx := tensor.New(x.Value.R, x.Value.C)
+			gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 			tensor.ScaleInto(gx, v.Grad, factor)
 			x.AccumGrad(gx)
 		}
@@ -318,7 +429,7 @@ func ScaleByScalarPlusOne(x, s *Var) *Var {
 			for i, g := range v.Grad.V {
 				dot += float64(g) * float64(x.Value.V[i])
 			}
-			gs := tensor.New(1, 1)
+			gs := s.tape.NewTensor(1, 1)
 			gs.V[0] = float32(dot)
 			s.AccumGrad(gs)
 		}
@@ -334,7 +445,7 @@ func SegmentMeanRows(x *Var, offsets []int) *Var {
 	if nSeg < 0 || offsets[nSeg] > x.Value.R {
 		panic("autograd: bad segment offsets")
 	}
-	out := tensor.New(nSeg, x.Value.C)
+	out := x.tape.NewTensor(nSeg, x.Value.C)
 	for g := 0; g < nSeg; g++ {
 		lo, hi := offsets[g], offsets[g+1]
 		if hi <= lo {
@@ -352,7 +463,7 @@ func SegmentMeanRows(x *Var, offsets []int) *Var {
 		}
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		for g := 0; g < nSeg; g++ {
 			lo, hi := offsets[g], offsets[g+1]
 			if hi <= lo {

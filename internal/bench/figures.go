@@ -262,11 +262,12 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 		m.Reset()
 		tShared := gather.SharedMem(store.PG.Feat, dim, reqs)
 		m.Reset()
-		reqs2 := make([]*gather.Request, len(reqs))
-		for i, r := range reqs {
-			reqs2[i] = gather.NewRequest(r.Dev, r.Rows, dim)
+		// Reuse the same requests (and their Out buffers) for the
+		// distributed leg: Reset repoints them without reallocating.
+		for _, r := range reqs {
+			r.Reset(r.Rows, dim)
 		}
-		_, bd := gather.DistributedWithBreakdown(store.PG.Feat, dim, reqs2)
+		_, bd := gather.DistributedWithBreakdown(store.PG.Feat, dim, reqs)
 
 		perGPU := totalBytes / 8
 		row := Fig10Row{

@@ -81,6 +81,21 @@ type Loader struct {
 	sampler *sampling.GPUSampler
 	cache   *cache.FeatureCache
 	rng     *rand.Rand
+
+	// Batch-building scratch, reused across BuildBatch calls so the
+	// steady-state loop allocates nothing: per-hop neighborhoods, dedup
+	// workspaces and sub-CSR blocks (each hop needs its own, since all hops'
+	// blocks are alive in the returned batch at once), plus the frontier,
+	// feature-row, feature and label buffers. The returned Batch aliases
+	// them and is valid only until the next BuildBatch on this loader.
+	curBuf []graph.GlobalID
+	nbs    []*sampling.Neighborhood
+	deds   []*unique.Deduper
+	blocks []*spops.SubCSR
+	rows   []int64
+	feat   *tensor.Dense
+	labels []int32
+	batch  gnn.Batch
 }
 
 // NewLoader creates a loader on dev sampling with the given per-layer
@@ -135,31 +150,46 @@ func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
 	var tm Timing
 	pg := l.Store.PG
 
-	cur := make([]graph.GlobalID, len(targets))
+	if l.nbs == nil {
+		l.nbs = make([]*sampling.Neighborhood, len(l.Fanouts))
+		l.deds = make([]*unique.Deduper, len(l.Fanouts))
+		l.blocks = make([]*spops.SubCSR, len(l.Fanouts))
+		for i := range l.nbs {
+			l.nbs[i] = new(sampling.Neighborhood)
+			l.deds[i] = unique.NewDeduper()
+			l.blocks[i] = new(spops.SubCSR)
+		}
+	}
+
+	if cap(l.curBuf) < len(targets) {
+		l.curBuf = make([]graph.GlobalID, len(targets))
+	}
+	cur := l.curBuf[:len(targets)]
 	for i, v := range targets {
 		cur[i] = pg.Owner[v]
 	}
 
 	t0 := l.Dev.Now()
-	blocks := make([]*spops.SubCSR, len(l.Fanouts))
+	blocks := l.blocks
 	for hop, fan := range l.Fanouts {
-		nb := l.sampler.SampleLayer(cur, fan)
-		uq := unique.AppendUnique(l.Dev, cur, nb.Neighbors)
-		blk := &spops.SubCSR{
-			NumTargets: len(cur),
-			NumNodes:   len(uq.Unique),
-			RowPtr:     nb.Offsets,
-			Col:        uq.NeighborSubID,
-			DupCount:   uq.DupCount,
-		}
+		nb := l.sampler.SampleLayerInto(l.nbs[hop], cur, fan)
+		uq := l.deds[hop].AppendUnique(l.Dev, cur, nb.Neighbors)
+		// The first sampled hop feeds the last GNN layer.
+		blk := blocks[len(l.Fanouts)-1-hop]
+		blk.NumTargets = len(cur)
+		blk.NumNodes = len(uq.Unique)
+		blk.RowPtr = nb.Offsets
+		blk.Col = uq.NeighborSubID
+		blk.DupCount = uq.DupCount
 		if pg.EdgeW != nil {
 			// Gather the sampled edges' weights: single-element (4-byte)
 			// accesses, the worst point of the Figure 8 curve.
-			blk.EdgeW = make([]float32, len(nb.EdgePos))
+			if cap(blk.EdgeW) < len(nb.EdgePos) {
+				blk.EdgeW = make([]float32, len(nb.EdgePos))
+			}
+			blk.EdgeW = blk.EdgeW[:len(nb.EdgePos)]
 			pg.EdgeW.GatherElems(l.Dev, nb.EdgePos, blk.EdgeW, "gather.edgew")
 		}
-		// The first sampled hop feeds the last GNN layer.
-		blocks[len(l.Fanouts)-1-hop] = blk
 		cur = uq.Unique
 	}
 	tm.Sample = l.Dev.Now() - t0
@@ -167,11 +197,23 @@ func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
 	// Global gather: one kernel reading every input node's feature row
 	// from whichever GPU owns it.
 	dim := pg.Dim
-	rows := make([]int64, len(cur))
+	if cap(l.rows) < len(cur) {
+		l.rows = make([]int64, len(cur))
+	}
+	rows := l.rows[:len(cur)]
 	for i, gid := range cur {
 		rows[i] = pg.FeatRow(gid)
 	}
-	feat := tensor.New(len(cur), dim)
+	if l.feat == nil {
+		l.feat = tensor.New(len(cur), dim)
+	} else {
+		n := len(cur) * dim
+		if cap(l.feat.V) < n {
+			l.feat.V = make([]float32, n)
+		}
+		l.feat.R, l.feat.C, l.feat.V = len(cur), dim, l.feat.V[:n]
+	}
+	feat := l.feat
 	t1 := l.Dev.Now()
 	if l.cache != nil {
 		l.cache.GatherRows(rows, dim, feat.V, "gather.feat")
@@ -180,11 +222,15 @@ func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
 	}
 	tm.Gather = l.Dev.Now() - t1
 
-	labels := make([]int32, len(targets))
+	if cap(l.labels) < len(targets) {
+		l.labels = make([]int32, len(targets))
+	}
+	labels := l.labels[:len(targets)]
 	for i, v := range targets {
 		labels[i] = l.Store.DS.Labels[v]
 	}
-	return &gnn.Batch{Blocks: blocks, Feat: feat, Labels: labels}, tm
+	l.batch = gnn.Batch{Blocks: blocks, Feat: feat, Labels: labels}
+	return &l.batch, tm
 }
 
 // EpochBatches partitions the training set into shuffled mini-batches for

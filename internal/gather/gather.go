@@ -17,6 +17,7 @@ package gather
 
 import (
 	"fmt"
+	"unsafe"
 
 	"wholegraph/internal/nccl"
 	"wholegraph/internal/sim"
@@ -36,10 +37,54 @@ func NewRequest(dev *sim.Device, rows []int64, dim int) *Request {
 	return &Request{Dev: dev, Rows: rows, Out: make([]float32, len(rows)*dim)}
 }
 
+// Reset repoints the request at a new row list, reusing the Out buffer when
+// its capacity suffices and growing it otherwise. Steady-state loops keep
+// one Request per device and Reset it each iteration instead of allocating
+// a fresh output buffer.
+func (r *Request) Reset(rows []int64, dim int) *Request {
+	r.Rows = rows
+	n := len(rows) * dim
+	if cap(r.Out) < n {
+		r.Out = make([]float32, n)
+	} else {
+		r.Out = r.Out[:n]
+	}
+	return r
+}
+
+// outSpan returns the address range [lo, hi) covered by r.Out's useful
+// prefix, for alias detection. Empty buffers span nothing.
+func (r *Request) outSpan(dim int) (lo, hi uintptr) {
+	n := len(r.Rows) * dim
+	if n == 0 {
+		return 0, 0
+	}
+	lo = uintptr(unsafe.Pointer(&r.Out[0]))
+	return lo, lo + uintptr(n)*unsafe.Sizeof(float32(0))
+}
+
 func checkReqs(dim int, reqs []*Request) {
 	for i, r := range reqs {
 		if len(r.Out) < len(r.Rows)*dim {
 			panic(fmt.Sprintf("gather: request %d output too small: %d for %d rows", i, len(r.Out), len(r.Rows)))
+		}
+	}
+	// Requests execute concurrently and each scatters into its own Out; two
+	// requests sharing (an overlapping slice of) one buffer would race and
+	// silently clobber each other's rows, so reject aliasing up front.
+	for i := range reqs {
+		li, hi := reqs[i].outSpan(dim)
+		if li == hi {
+			continue
+		}
+		for j := i + 1; j < len(reqs); j++ {
+			lj, hj := reqs[j].outSpan(dim)
+			if lj == hj {
+				continue
+			}
+			if li < hj && lj < hi {
+				panic(fmt.Sprintf("gather: requests %d and %d alias the same Out buffer", i, j))
+			}
 		}
 	}
 }

@@ -1,0 +1,91 @@
+package gather
+
+import (
+	"testing"
+
+	"wholegraph/internal/sim"
+)
+
+// TestRequestResetReusesBuffer verifies the steady-state contract: Reset
+// keeps the Out allocation when capacity suffices and grows it otherwise.
+func TestRequestResetReusesBuffer(t *testing.T) {
+	m := sim.NewMachine(sim.DGXA100(1))
+	const dim = 8
+	r := NewRequest(m.Devs[0], []int64{1, 2, 3, 4}, dim)
+	p0 := &r.Out[0]
+
+	r.Reset([]int64{5, 6}, dim)
+	if len(r.Out) != 2*dim {
+		t.Fatalf("Out length %d after shrink, want %d", len(r.Out), 2*dim)
+	}
+	if &r.Out[0] != p0 {
+		t.Error("Reset reallocated Out although capacity sufficed")
+	}
+
+	r.Reset([]int64{1, 2, 3, 4}, dim)
+	if &r.Out[0] != p0 {
+		t.Error("Reset to original size reallocated Out")
+	}
+
+	r.Reset(make([]int64, 100), dim)
+	if len(r.Out) != 100*dim {
+		t.Fatalf("Out length %d after grow, want %d", len(r.Out), 100*dim)
+	}
+}
+
+// TestAliasedOutBuffersPanic: two requests scattering into overlapping
+// slices of one array would race under sim.RunParallel; checkReqs must
+// reject that before any kernel runs.
+func TestAliasedOutBuffersPanic(t *testing.T) {
+	const nRows, dim = 256, 4
+	m, feat := setup(t, nRows, dim)
+	backing := make([]float32, 3*dim)
+	reqs := []*Request{
+		{Dev: m.Devs[0], Rows: []int64{1, 2}, Out: backing[:2*dim]},
+		{Dev: m.Devs[1], Rows: []int64{3, 4}, Out: backing[dim : 3*dim]}, // overlaps rows 1 of req 0
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("aliased Out buffers did not panic")
+		}
+	}()
+	SharedMem(feat, dim, reqs)
+}
+
+// TestDisjointSlicesOfOneArrayAllowed: adjacent, non-overlapping windows of
+// a single backing array are a legitimate layout (one big output tensor
+// split across ranks) and must pass the alias check.
+func TestDisjointSlicesOfOneArrayAllowed(t *testing.T) {
+	const nRows, dim = 256, 4
+	m, feat := setup(t, nRows, dim)
+	backing := make([]float32, 4*dim)
+	reqs := []*Request{
+		{Dev: m.Devs[0], Rows: []int64{1, 2}, Out: backing[:2*dim]},
+		{Dev: m.Devs[1], Rows: []int64{3, 4}, Out: backing[2*dim:]},
+	}
+	SharedMem(feat, dim, reqs)
+	checkOutputs(t, reqs, dim)
+}
+
+// TestSharedMemReusedRequestsAllocFree: with Reset-ed requests and serial
+// execution, the shared-memory gather performs no per-row or per-request
+// allocation. The budget is 1: the closure handed to sim.RunParallel
+// escapes (it may run on goroutines) — a fixed cost independent of how many
+// rows or requests are gathered.
+func TestSharedMemReusedRequestsAllocFree(t *testing.T) {
+	const nRows, dim = 1024, 16
+	m, feat := setup(t, nRows, dim)
+	reqs := makeReqs(m, nRows, dim, 200, 42)
+	SharedMem(feat, dim, reqs) // warm up
+
+	prev := sim.SetParallel(false)
+	defer sim.SetParallel(prev)
+	if n := testing.AllocsPerRun(10, func() {
+		for _, r := range reqs {
+			r.Reset(r.Rows, dim)
+		}
+		SharedMem(feat, dim, reqs)
+	}); n > 1 {
+		t.Fatalf("reused SharedMem gather allocated %.1f times per run, budget 1 (the RunParallel closure)", n)
+	}
+}

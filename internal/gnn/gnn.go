@@ -123,29 +123,61 @@ func PaperConfig(inDim, classes int) Config {
 // index equals the row index. GCN and GAT aggregate over the closed
 // neighborhood.
 func withSelfLoops(g *spops.SubCSR) *spops.SubCSR {
-	out := &spops.SubCSR{
-		NumTargets: g.NumTargets,
-		NumNodes:   g.NumNodes,
-		RowPtr:     make([]int64, 1, g.NumTargets+1),
-		Col:        make([]int32, 0, int(g.NumEdges())+g.NumTargets),
-		DupCount:   append([]int32(nil), g.DupCount...),
+	return withSelfLoopsInto(new(spops.SubCSR), g)
+}
+
+// withSelfLoopsInto is withSelfLoops writing into a caller-owned block,
+// truncating and reusing its slices. GCN and GAT keep one block per layer
+// as model-private scratch (each concurrent worker or inference rank owns
+// its own model replica), so the steady state rebuilds the closed
+// neighborhood without allocating. The result is valid until the next call
+// with the same dst; backward closures capturing it fire within the same
+// iteration, before any rewrite.
+func withSelfLoopsInto(dst, g *spops.SubCSR) *spops.SubCSR {
+	dst.NumTargets = g.NumTargets
+	dst.NumNodes = g.NumNodes
+	dst.RowPtr = append(dst.RowPtr[:0], 0)
+	dst.Col = dst.Col[:0]
+	if g.DupCount != nil {
+		dst.DupCount = append(dst.DupCount[:0], g.DupCount...)
+	} else {
+		if cap(dst.DupCount) < g.NumNodes {
+			dst.DupCount = make([]int32, g.NumNodes)
+		}
+		dst.DupCount = dst.DupCount[:g.NumNodes]
+		clear(dst.DupCount)
 	}
-	if out.DupCount == nil {
-		out.DupCount = make([]int32, g.NumNodes)
+	if g.EdgeW != nil {
+		dst.EdgeW = dst.EdgeW[:0]
+	} else {
+		dst.EdgeW = nil
 	}
 	for t := 0; t < g.NumTargets; t++ {
-		out.Col = append(out.Col, g.Col[g.RowPtr[t]:g.RowPtr[t+1]]...)
+		dst.Col = append(dst.Col, g.Col[g.RowPtr[t]:g.RowPtr[t+1]]...)
 		if g.EdgeW != nil {
-			out.EdgeW = append(out.EdgeW, g.EdgeW[g.RowPtr[t]:g.RowPtr[t+1]]...)
+			dst.EdgeW = append(dst.EdgeW, g.EdgeW[g.RowPtr[t]:g.RowPtr[t+1]]...)
 		}
-		out.Col = append(out.Col, int32(t))
+		dst.Col = append(dst.Col, int32(t))
 		if g.EdgeW != nil {
-			out.EdgeW = append(out.EdgeW, 1) // self edges carry unit weight
+			dst.EdgeW = append(dst.EdgeW, 1) // self edges carry unit weight
 		}
-		out.DupCount[t]++
-		out.RowPtr = append(out.RowPtr, int64(len(out.Col)))
+		dst.DupCount[t]++
+		dst.RowPtr = append(dst.RowPtr, int64(len(dst.Col)))
 	}
-	return out
+	return dst
+}
+
+// loopScratch lazily provides per-layer self-loop blocks for models that
+// aggregate over the closed neighborhood.
+type loopScratch struct {
+	loops []*spops.SubCSR
+}
+
+func (s *loopScratch) loop(l int) *spops.SubCSR {
+	for len(s.loops) <= l {
+		s.loops = append(s.loops, new(spops.SubCSR))
+	}
+	return s.loops[l]
 }
 
 // dropoutVar applies dropout when training with p > 0.

@@ -18,6 +18,7 @@ type GCN struct {
 	ps     nn.ParamSet
 	layers []*nn.Linear
 	rng    *rand.Rand
+	sl     loopScratch
 }
 
 // NewGCN builds a GCN from cfg.
@@ -60,7 +61,7 @@ func (m *GCN) NumLayers() int { return m.cfg.Layers }
 // ForwardLayer implements LayerwiseModel. Parameters must already be bound
 // on x's tape.
 func (m *GCN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
-	agg := spops.SpMM(dev, m.cfg.Backend, withSelfLoops(blk), x, nil, spops.AggMean)
+	agg := spops.SpMM(dev, m.cfg.Backend, withSelfLoopsInto(m.sl.loop(l), blk), x, nil, spops.AggMean)
 	out := m.layers[l].Apply(dev, agg)
 	if !last {
 		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
@@ -143,6 +144,7 @@ type GAT struct {
 	attnL [][]*nn.Param  // [layer][head] a_l, shape [headDim x 1]
 	attnR [][]*nn.Param
 	rng   *rand.Rand
+	sl    loopScratch
 }
 
 // NewGAT builds a GAT from cfg; cfg.Hidden must divide by cfg.Heads.
@@ -202,7 +204,7 @@ func (m *GAT) NumLayers() int { return m.cfg.Layers }
 // ForwardLayer implements LayerwiseModel. Parameters must already be bound
 // on x's tape.
 func (m *GAT) ForwardLayer(dev *sim.Device, l int, rawBlk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
-	blk := withSelfLoops(rawBlk)
+	blk := withSelfLoopsInto(m.sl.loop(l), rawBlk)
 	var headsOut *autograd.Var
 	for h := 0; h < m.cfg.Heads; h++ {
 		hproj := m.proj[l][h].Apply(dev, x) // [nodes x headDim]

@@ -37,6 +37,22 @@ type Engine struct {
 	// share one model. replicas[0] aliases Model; the rest are refreshed
 	// from Model's weights at the start of every Run.
 	replicas []gnn.LayerwiseModel
+	// scratch[r] is rank r's reusable workspace (dedup table, tape arena,
+	// block and index buffers), owned by rank r's goroutine inside
+	// sim.RunParallel, so repeated Runs allocate almost nothing.
+	scratch []*rankScratch
+}
+
+// rankScratch holds one rank's per-layer working set across Run calls.
+type rankScratch struct {
+	ded       *unique.Deduper
+	tape      *autograd.Tape
+	targets   []graph.GlobalID
+	neighbors []graph.GlobalID
+	rowPtr    []int64
+	blk       spops.SubCSR
+	rows      []int64
+	outRows   []int64
 }
 
 // NewEngine validates the model against the store and allocates the
@@ -63,6 +79,13 @@ func NewEngine(store *core.Store, model gnn.LayerwiseModel) (*Engine, error) {
 			return nil, fmt.Errorf("infer: %s replica does not implement LayerwiseModel", model.Name())
 		}
 		e.replicas[r] = rep
+	}
+	e.scratch = make([]*rankScratch, store.Comm.Size())
+	for r := range e.scratch {
+		e.scratch[r] = &rankScratch{
+			ded:  unique.NewDeduper(),
+			tape: autograd.NewTapeArena(tensor.NewArena()),
+		}
 	}
 	return e, nil
 }
@@ -106,22 +129,30 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 		sim.RunParallel(len(devs), func(r int) {
 			dev := devs[r]
 			model := e.replicas[r]
-			blk, uniq := rankBlock(dev, pg, r)
+			sc := e.scratch[r]
+			tp := sc.tape
+			tp.Reset()
+			blk, uniq := sc.rankBlock(dev, pg, r)
 			// Gather the block's input embeddings from the shared table.
-			rows := make([]int64, len(uniq))
+			if cap(sc.rows) < len(uniq) {
+				sc.rows = make([]int64, len(uniq))
+			}
+			rows := sc.rows[:len(uniq)]
 			for i, gid := range uniq {
 				rows[i] = pg.FeatRow(gid)
 			}
-			x := tensor.New(len(uniq), inDim)
+			x := tp.NewTensor(len(uniq), inDim)
 			in.GatherRows(dev, rows, inDim, x.V, "infer.gather")
 
-			tp := autograd.NewTape()
 			model.Params().Bind(tp)
 			y := model.ForwardLayer(dev, l, blk, tp.Const(x), last, false)
 
 			// Scatter the rank's rows into the next shared table; local
 			// rows are contiguous, so this is a streaming store.
-			outRows := make([]int64, blk.NumTargets)
+			if cap(sc.outRows) < blk.NumTargets {
+				sc.outRows = make([]int64, blk.NumTargets)
+			}
+			outRows := sc.outRows[:blk.NumTargets]
 			base := pg.FeatRow(graph.MakeGlobalID(r, 0))
 			for i := range outRows {
 				outRows[i] = base + int64(i)
@@ -159,26 +190,34 @@ func featShardSizes(pg *graph.Partitioned, dim int) []int64 {
 // rankBlock builds the full-neighborhood block of rank r: targets are the
 // rank's local nodes in local order, neighbors are their complete edge
 // lists, deduplicated with AppendUnique so the block indexes a compact
-// input set.
-func rankBlock(dev *sim.Device, pg *graph.Partitioned, r int) (*spops.SubCSR, []graph.GlobalID) {
+// input set. The block and ID list live in the scratch and are valid until
+// the next call.
+func (sc *rankScratch) rankBlock(dev *sim.Device, pg *graph.Partitioned, r int) (*spops.SubCSR, []graph.GlobalID) {
 	localN := pg.LocalCount(r)
-	targets := make([]graph.GlobalID, localN)
+	if cap(sc.targets) < int(localN) {
+		sc.targets = make([]graph.GlobalID, localN)
+	}
+	targets := sc.targets[:localN]
 	for i := int64(0); i < localN; i++ {
 		targets[i] = graph.MakeGlobalID(r, i)
 	}
 	rp := pg.RowPtr.Shard(r)
 	colShard := pg.Col.Shard(r)
-	neighbors := make([]graph.GlobalID, len(colShard))
+	if cap(sc.neighbors) < len(colShard) {
+		sc.neighbors = make([]graph.GlobalID, len(colShard))
+	}
+	neighbors := sc.neighbors[:len(colShard)]
 	for i, c := range colShard {
 		neighbors[i] = graph.GlobalID(c)
 	}
-	uq := unique.AppendUnique(dev, targets, neighbors)
-	blk := &spops.SubCSR{
+	uq := sc.ded.AppendUnique(dev, targets, neighbors)
+	sc.rowPtr = append(sc.rowPtr[:0], rp...)
+	sc.blk = spops.SubCSR{
 		NumTargets: int(localN),
 		NumNodes:   len(uq.Unique),
-		RowPtr:     append([]int64(nil), rp...),
+		RowPtr:     sc.rowPtr,
 		Col:        uq.NeighborSubID,
 		DupCount:   uq.DupCount,
 	}
-	return blk, uq.Unique
+	return &sc.blk, uq.Unique
 }

@@ -12,89 +12,37 @@ import "math/rand"
 // including the pack-into-64-bit radix sort trick and the path-doubling
 // collision resolution. When m >= n it returns the identity selection.
 func SampleWithoutReplacement(m, n int, rng *rand.Rand) []int64 {
-	if m >= n {
-		res := make([]int64, n)
-		for i := range res {
-			res[i] = int64(i)
-		}
-		return res
-	}
-	r := make([]int64, m)
-	for i := 0; i < m; i++ {
-		// random(N-1-i): uniform in [0, n-1-i].
-		r[i] = int64(rng.Intn(n - i))
-	}
-	return resolveWithoutReplacement(r, n)
+	var sc Scratch
+	return sc.SampleWithoutReplacement(m, n, rng)
 }
 
 // resolveWithoutReplacement runs lines 3-22 of Algorithm 1 on a prepared
 // random array r (r[i] uniform in [0, n-1-i]). Exposed separately so tests
 // can drive it with a fixed r and compare against the sequential reference.
 func resolveWithoutReplacement(r []int64, n int) []int64 {
-	m := len(r)
-	chain := make([]int64, m)
-	for i := range chain {
-		chain[i] = int64(i)
-	}
-
-	// parallel_sort: pack value<<32|index into one 64-bit key and radix
-	// sort, recovering both the sorted values s and original indices p.
-	s, p := parallelSort(r)
-
-	q := make([]int64, m)
-	for i := 0; i < m; i++ {
-		q[p[i]] = int64(i)
-	}
-	for i := 0; i < m; i++ {
-		if (i == m-1 || s[i] != s[i+1]) && s[i] >= int64(n-m) {
-			chain[int64(n)-s[i]-1] = p[i]
-		}
-	}
-	pathDoubling(chain)
-	last := make([]int64, m)
-	for i := 0; i < m; i++ {
-		last[i] = int64(n) - chain[i] - 1
-	}
-	res := make([]int64, m)
-	for i := 0; i < m; i++ {
-		qi := q[i]
-		if i == 0 || qi == 0 || s[qi] != s[qi-1] {
-			res[i] = r[i]
-		} else {
-			res[i] = last[p[qi-1]]
-		}
-	}
-	return res
+	var sc Scratch
+	return sc.resolve(r, n)
 }
 
-// parallelSort implements the paper's parallel_sort: the 32-bit values and
-// their indices are packed into 64-bit keys (value in the high half, index
-// in the low half) and radix-sorted, yielding the sorted values and the
-// stable original-index permutation in one pass.
+// parallelSort is the one-shot form of Scratch.parallelSort.
 func parallelSort(r []int64) (s, p []int64) {
-	m := len(r)
-	keys := make([]uint64, m)
-	for i, v := range r {
-		keys[i] = uint64(v)<<32 | uint64(uint32(i))
-	}
-	radixSort64(keys)
-	s = make([]int64, m)
-	p = make([]int64, m)
-	for i, k := range keys {
-		s[i] = int64(k >> 32)
-		p[i] = int64(uint32(k))
-	}
-	return s, p
+	var sc Scratch
+	return sc.parallelSort(r)
 }
 
 // radixSort64 sorts keys ascending with an LSD byte radix sort, the
 // standard GPU-friendly sort the paper uses.
 func radixSort64(keys []uint64) {
+	radixSort64Buf(keys, make([]uint64, len(keys)))
+}
+
+// radixSort64Buf is radixSort64 with a caller-supplied ping-pong buffer of
+// the same length, so steady-state callers can reuse it across sorts.
+func radixSort64Buf(keys, buf []uint64) {
 	n := len(keys)
 	if n < 2 {
 		return
 	}
-	buf := make([]uint64, n)
 	src, dst := keys, buf
 	for shift := 0; shift < 64; shift += 8 {
 		var counts [256]int

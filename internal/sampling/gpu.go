@@ -34,6 +34,10 @@ type GPUSampler struct {
 	PG  *graph.Partitioned
 	Dev *sim.Device
 	Rng *rand.Rand
+
+	// scratch backs Algorithm 1 across SampleLayer calls, one workspace per
+	// sampler so concurrent samplers never share memory.
+	scratch Scratch
 }
 
 // NewGPUSampler returns a sampler for pg running on dev with the given seed.
@@ -47,7 +51,23 @@ func NewGPUSampler(pg *graph.Partitioned, dev *sim.Device, seed int64) *GPUSampl
 // with their true contiguity (full lists are read as one segment; sampled
 // subsets as 8-byte random accesses).
 func (s *GPUSampler) SampleLayer(targets []graph.GlobalID, fanout int) *Neighborhood {
-	nb := &Neighborhood{Targets: targets, Offsets: make([]int64, 1, len(targets)+1)}
+	return s.SampleLayerInto(new(Neighborhood), targets, fanout)
+}
+
+// SampleLayerInto is SampleLayer writing into a caller-owned Neighborhood,
+// truncating and reusing its slices: the steady-state loader keeps one
+// Neighborhood per hop and pays no per-iteration allocation once they have
+// grown to size.
+func (s *GPUSampler) SampleLayerInto(nb *Neighborhood, targets []graph.GlobalID, fanout int) *Neighborhood {
+	nb.Targets = targets
+	if cap(nb.Offsets) < len(targets)+1 {
+		nb.Offsets = make([]int64, 1, len(targets)+1)
+	} else {
+		nb.Offsets = nb.Offsets[:1]
+	}
+	nb.Offsets[0] = 0
+	nb.Neighbors = nb.Neighbors[:0]
+	nb.EdgePos = nb.EdgePos[:0]
 	rank := s.PG.Comm.RankOfDevice(s.Dev)
 
 	var localBytes, remoteBytes, remoteSegs, sortKeys float64
@@ -73,7 +93,7 @@ func (s *GPUSampler) SampleLayer(targets []graph.GlobalID, fanout int) *Neighbor
 				remoteSegs++
 			}
 		} else {
-			idx := SampleWithoutReplacement(fanout, int(deg), s.Rng)
+			idx := s.scratch.SampleWithoutReplacement(fanout, int(deg), s.Rng)
 			sortKeys += float64(fanout)
 			for _, k := range idx {
 				nb.Neighbors = append(nb.Neighbors, s.PG.NeighborAt(t, k))

@@ -36,7 +36,8 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 		panic("spops: edge weight shape mismatch")
 	}
 
-	norm := make([]float32, g.NumTargets)
+	tp := x.Tape()
+	norm := tp.Scratch(g.NumTargets)
 	for t := 0; t < g.NumTargets; t++ {
 		norm[t] = 1
 		if agg != AggMean {
@@ -62,11 +63,11 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 		return g.EdgeW[e]
 	}
 
-	out := tensor.New(g.NumTargets, d)
+	out := tp.NewTensor(g.NumTargets, d)
 	switch be {
 	case BackendPyG:
 		// Materialize per-edge messages, then segment-reduce.
-		msgs := tensor.New(int(g.NumEdges()), d)
+		msgs := tp.NewTensor(int(g.NumEdges()), d)
 		for t := 0; t < g.NumTargets; t++ {
 			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
 				src := x.Value.Row(int(g.Col[e]))
@@ -114,9 +115,9 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 	if w != nil {
 		inputs = append(inputs, w)
 	}
-	return x.Tape().Op(out, inputs, func(v *autograd.Var) {
+	return tp.Op(out, inputs, func(v *autograd.Var) {
 		if x.NeedsGrad() {
-			gx := tensor.New(g.NumNodes, d)
+			gx := tp.NewTensor(g.NumNodes, d)
 			for t := 0; t < g.NumTargets; t++ {
 				gr := v.Grad.Row(t)
 				for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
@@ -134,7 +135,7 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 			x.AccumGrad(gx)
 		}
 		if w != nil && w.NeedsGrad() {
-			gw := tensor.New(int(g.NumEdges()), 1)
+			gw := tp.NewTensor(int(g.NumEdges()), 1)
 			for t := 0; t < g.NumTargets; t++ {
 				gr := v.Grad.Row(t)
 				for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
@@ -162,16 +163,17 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 	if sr.Value.R != g.NumNodes || sr.Value.C != 1 {
 		panic("spops: sr shape mismatch")
 	}
-	out := tensor.New(int(g.NumEdges()), 1)
+	tp := sl.Tape()
+	out := tp.NewTensor(int(g.NumEdges()), 1)
 	for t := 0; t < g.NumTargets; t++ {
 		for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
 			out.V[e] = sl.Value.V[t] + sr.Value.V[g.Col[e]]
 		}
 	}
 	chargeSDDMM(dev, g, 1)
-	return sl.Tape().Op(out, []*autograd.Var{sl, sr}, func(v *autograd.Var) {
+	return tp.Op(out, []*autograd.Var{sl, sr}, func(v *autograd.Var) {
 		if sl.NeedsGrad() {
-			gl := tensor.New(g.NumTargets, 1)
+			gl := tp.NewTensor(g.NumTargets, 1)
 			for t := 0; t < g.NumTargets; t++ {
 				for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
 					gl.V[t] += v.Grad.V[e]
@@ -180,7 +182,7 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 			sl.AccumGrad(gl)
 		}
 		if sr.NeedsGrad() {
-			gr := tensor.New(g.NumNodes, 1)
+			gr := tp.NewTensor(g.NumNodes, 1)
 			for t := 0; t < g.NumTargets; t++ {
 				for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
 					gr.V[g.Col[e]] += v.Grad.V[e]
@@ -194,15 +196,16 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 
 // EdgeLeakyReLU applies LeakyReLU elementwise to an edge vector.
 func EdgeLeakyReLU(dev *sim.Device, x *autograd.Var, slope float32) *autograd.Var {
-	out := tensor.New(x.Value.R, x.Value.C)
+	tp := x.Tape()
+	out := tp.NewTensor(x.Value.R, x.Value.C)
 	for i, v := range x.Value.V {
 		out.V[i] = tensor.LeakyReLU(v, slope)
 	}
 	if dev != nil {
 		dev.Kernel(sim.KernelCost{StreamBytes: float64(8 * len(x.Value.V)), Tag: "leakyrelu"})
 	}
-	return x.Tape().Op(out, []*autograd.Var{x}, func(v *autograd.Var) {
-		gx := tensor.New(x.Value.R, x.Value.C)
+	return tp.Op(out, []*autograd.Var{x}, func(v *autograd.Var) {
+		gx := tp.NewTensor(x.Value.R, x.Value.C)
 		for i, xv := range x.Value.V {
 			gx.V[i] = tensor.LeakyReLUGrad(xv, slope) * v.Grad.V[i]
 		}
@@ -216,7 +219,8 @@ func SegmentSoftmax(dev *sim.Device, g *SubCSR, e *autograd.Var) *autograd.Var {
 	if e.Value.R != int(g.NumEdges()) || e.Value.C != 1 {
 		panic("spops: segment softmax shape mismatch")
 	}
-	out := tensor.New(e.Value.R, 1)
+	tp := e.Tape()
+	out := tp.NewTensor(e.Value.R, 1)
 	for t := 0; t < g.NumTargets; t++ {
 		lo, hi := g.RowPtr[t], g.RowPtr[t+1]
 		if lo == hi {
@@ -239,8 +243,8 @@ func SegmentSoftmax(dev *sim.Device, g *SubCSR, e *autograd.Var) *autograd.Var {
 	if dev != nil {
 		dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * 4 * e.Value.R), Tag: "segsoftmax"})
 	}
-	return e.Tape().Op(out, []*autograd.Var{e}, func(v *autograd.Var) {
-		ge := tensor.New(e.Value.R, 1)
+	return tp.Op(out, []*autograd.Var{e}, func(v *autograd.Var) {
+		ge := tp.NewTensor(e.Value.R, 1)
 		for t := 0; t < g.NumTargets; t++ {
 			lo, hi := g.RowPtr[t], g.RowPtr[t+1]
 			var dot float64

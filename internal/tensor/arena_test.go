@@ -1,0 +1,137 @@
+package tensor
+
+import "testing"
+
+func TestArenaGetZeroesReusedMemory(t *testing.T) {
+	a := NewArena()
+	d := a.Get(4, 8)
+	for i := range d.V {
+		d.V[i] = float32(i + 1)
+	}
+	a.Put(d)
+	d2 := a.Get(4, 8)
+	if d2.R != 4 || d2.C != 8 || len(d2.V) != 32 {
+		t.Fatalf("got shape %dx%d len %d", d2.R, d2.C, len(d2.V))
+	}
+	for i, v := range d2.V {
+		if v != 0 {
+			t.Fatalf("reused memory not zeroed at %d: %g", i, v)
+		}
+	}
+}
+
+func TestArenaReusesSlabAndHeader(t *testing.T) {
+	a := NewArena()
+	d := a.Get(3, 5)
+	slab, hdr := &d.V[0], d
+	a.Put(d)
+	d2 := a.Get(5, 3) // same element count, same bucket
+	if &d2.V[0] != slab {
+		t.Error("slab not reused for same-bucket request")
+	}
+	if d2 != hdr {
+		t.Error("Dense header not reused")
+	}
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestArenaBucketing(t *testing.T) {
+	// A pooled slab serves any request up to its capacity class.
+	a := NewArena()
+	a.PutSlice(make([]float32, 1000, 1024))
+	v := a.GetSlice(600) // bucket 10, slab cap 1024 qualifies
+	if cap(v) != 1024 || len(v) != 600 {
+		t.Fatalf("got len %d cap %d, want 600/1024", len(v), cap(v))
+	}
+	// A request one class up must not be served by the smaller slab.
+	a.PutSlice(v)
+	w := a.GetSlice(1500)
+	if cap(w) == 1024 {
+		t.Error("1500-element request served from 1024-capacity slab")
+	}
+
+	if bucketFor(1) != 0 || bucketFor(2) != 1 || bucketFor(1024) != 10 || bucketFor(1025) != 11 {
+		t.Errorf("bucketFor: 1->%d 2->%d 1024->%d 1025->%d", bucketFor(1), bucketFor(2), bucketFor(1024), bucketFor(1025))
+	}
+	if slabClass(1024) != 10 || slabClass(1100) != 10 || slabClass(2048) != 11 {
+		t.Errorf("slabClass: 1024->%d 1100->%d 2048->%d", slabClass(1024), slabClass(1100), slabClass(2048))
+	}
+}
+
+func TestArenaViewAndPutHeader(t *testing.T) {
+	a := NewArena()
+	backing := []float32{1, 2, 3, 4, 5, 6}
+	v := a.View(2, 3, backing)
+	if v.R != 2 || v.C != 3 || &v.V[0] != &backing[0] {
+		t.Fatal("view does not wrap backing slice")
+	}
+	a.PutHeader(v)
+	if backing[0] != 1 {
+		t.Error("PutHeader touched the backing memory")
+	}
+	// The header is recycled, and the backing slice was not pooled.
+	d := a.Get(2, 3)
+	if d != v {
+		t.Error("header not recycled after PutHeader")
+	}
+	if &d.V[0] == &backing[0] {
+		t.Error("view backing slice leaked into the slab pool")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("mis-sized View did not panic")
+		}
+	}()
+	a.View(2, 4, backing)
+}
+
+func TestArenaResetDropsPool(t *testing.T) {
+	a := NewArena()
+	a.Put(a.Get(16, 16))
+	if a.Stats().HeldBytes == 0 {
+		t.Fatal("nothing pooled before Reset")
+	}
+	a.Reset()
+	if got := a.Stats().HeldBytes; got != 0 {
+		t.Errorf("HeldBytes %d after Reset, want 0", got)
+	}
+	d := a.Get(16, 16)
+	if a.Stats().Misses != 2 {
+		t.Errorf("post-Reset Get should miss, stats: %+v", a.Stats())
+	}
+	_ = d
+}
+
+func TestArenaZeroSizeRequests(t *testing.T) {
+	a := NewArena()
+	if v := a.GetSlice(0); v != nil {
+		t.Errorf("GetSlice(0) = %v, want nil", v)
+	}
+	a.PutSlice(nil) // must not pool or panic
+	if a.Stats().HeldBytes != 0 {
+		t.Error("PutSlice(nil) pooled bytes")
+	}
+}
+
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	a := NewArena()
+	// Warm the pool with the shapes the loop will request.
+	warm := []*Dense{a.Get(8, 16), a.Get(32, 4), a.Get(1, 100)}
+	for _, d := range warm {
+		a.Put(d)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		x := a.Get(8, 16)
+		y := a.Get(32, 4)
+		z := a.Get(1, 100)
+		a.Put(z)
+		a.Put(y)
+		a.Put(x)
+	}); n > 0 {
+		t.Fatalf("warm arena allocated %.1f times per run, want 0", n)
+	}
+}

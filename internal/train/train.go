@@ -117,6 +117,16 @@ type Trainer struct {
 	shards  [][]int64 // training shard per worker slot (all devices)
 	rng     *rand.Rand
 	epoch   int
+
+	// tapes holds one arena-backed tape per real worker, Reset at the top of
+	// every iteration so the steady state reuses the previous step's tensors.
+	// Each tape (and its arena) is owned by its worker's goroutine inside
+	// sim.RunParallel, mirroring device ownership.
+	tapes []*autograd.Tape
+	// averageGradients scratch: the per-replica parameter lists are stable
+	// across iterations, as are the per-parameter accumulator shapes.
+	avgParams [][]*nn.Param
+	avgSums   []*tensor.Dense
 }
 
 // New builds a WholeGraph trainer: it partitions the store onto every node
@@ -172,6 +182,7 @@ func NewCustom(m *sim.Machine, ds *dataset.Dataset, opts Options,
 			dev.Tracing = true
 		}
 		t.loaders = append(t.loaders, mkLoader(w, dev))
+		t.tapes = append(t.tapes, autograd.NewTapeArena(tensor.NewArena()))
 	}
 	return t, nil
 }
@@ -206,10 +217,14 @@ func Step(model gnn.Model, opt *nn.Adam, dev *sim.Device, b *gnn.Batch, train bo
 // AllReduce for the model's gradient bytes.
 func (t *Trainer) averageGradients() {
 	if len(t.Models) > 1 {
-		params := make([][]*nn.Param, len(t.Models))
-		for w, mdl := range t.Models {
-			params[w] = mdl.Params().Params()
+		if t.avgParams == nil {
+			t.avgParams = make([][]*nn.Param, len(t.Models))
+			for w, mdl := range t.Models {
+				t.avgParams[w] = mdl.Params().Params()
+			}
+			t.avgSums = make([]*tensor.Dense, len(t.avgParams[0]))
 		}
+		params := t.avgParams
 		for pi := range params[0] {
 			var sum *tensor.Dense
 			n := 0
@@ -219,7 +234,11 @@ func (t *Trainer) averageGradients() {
 					continue
 				}
 				if sum == nil {
-					sum = g.Clone()
+					if t.avgSums[pi] == nil {
+						t.avgSums[pi] = tensor.New(g.R, g.C)
+					}
+					sum = t.avgSums[pi]
+					copy(sum.V, g.V)
 				} else {
 					tensor.AccumInto(sum, g)
 				}
@@ -280,9 +299,10 @@ func (t *Trainer) RunEpoch() EpochStats {
 			b, tm := t.loaders[w].BuildBatch(bIDs)
 			timings[w] = tm
 			trainStart[w] = dev.Now()
-			tp := autograd.NewTape()
+			tp := t.tapes[w]
+			tp.Reset()
 			logits := mdl.Forward(dev, tp, b, true)
-			grad := tensor.New(logits.Value.R, logits.Value.C)
+			grad := tp.NewTensor(logits.Value.R, logits.Value.C)
 			results[w] = workerResult{
 				loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
 				acc:  tensor.Accuracy(logits.Value, b.Labels),
@@ -370,7 +390,8 @@ func (t *Trainer) Evaluate(ids []int64, maxNodes int) float64 {
 			end = len(ids)
 		}
 		b, _ := t.loaders[0].BuildBatch(ids[off:end])
-		tp := autograd.NewTape()
+		tp := t.tapes[0]
+		tp.Reset()
 		logits := model.Forward(dev, tp, b, false)
 		correct += tensor.Accuracy(logits.Value, b.Labels) * float64(end-off)
 		total += float64(end - off)
@@ -398,7 +419,8 @@ func (t *Trainer) EvaluateWithLabels(ids []int64, labels []int32) float64 {
 			end = len(ids)
 		}
 		b, _ := t.loaders[0].BuildBatch(ids[off:end])
-		tp := autograd.NewTape()
+		tp := t.tapes[0]
+		tp.Reset()
 		logits := model.Forward(dev, tp, b, false)
 		correct += tensor.Accuracy(logits.Value, labels[off:end]) * float64(end-off)
 		total += float64(end - off)
@@ -420,7 +442,8 @@ func (t *Trainer) Predict(ids []int64) [][]float32 {
 			end = len(ids)
 		}
 		b, _ := t.loaders[0].BuildBatch(ids[off:end])
-		tp := autograd.NewTape()
+		tp := t.tapes[0]
+		tp.Reset()
 		logits := model.Forward(dev, tp, b, false)
 		for i := 0; i < logits.Value.R; i++ {
 			row := make([]float32, logits.Value.C)

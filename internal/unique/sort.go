@@ -1,8 +1,6 @@
 package unique
 
 import (
-	"sort"
-
 	"wholegraph/internal/graph"
 	"wholegraph/internal/sim"
 )
@@ -16,7 +14,10 @@ import (
 // a radix sort of the whole list plus two scans instead of hash probes.
 //
 // It exists as the ablation baseline for the AppendUnique benchmark; both
-// implementations are interchangeable in the loader.
+// implementations are interchangeable in the loader. The sort is a genuine
+// LSD radix sort over (GlobalID, position) records with a ping-pong buffer
+// (see radixSortPairs), matching the 8-pass GPU radix model the cost charge
+// below assumes.
 func AppendUniqueSort(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
 	res := &Result{
 		Unique:        make([]graph.GlobalID, len(targets), len(targets)+len(neighbors)),
@@ -32,22 +33,14 @@ func AppendUniqueSort(dev *sim.Device, targets, neighbors []graph.GlobalID) *Res
 		res.Unique[i] = g
 	}
 
-	// Sort (value, original position) pairs, as a GPU radix sort over
-	// packed keys would.
-	type kv struct {
-		key graph.GlobalID
-		pos int32
-	}
-	pairs := make([]kv, len(neighbors))
+	// Radix-sort (value, original position) pairs; LSD stability supplies
+	// the tie-break by position.
+	pairs := make([]sortPair, len(neighbors))
+	buf := make([]sortPair, len(neighbors))
 	for i, g := range neighbors {
-		pairs[i] = kv{key: g, pos: int32(i)}
+		pairs[i] = sortPair{key: g, pos: int32(i)}
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].key != pairs[j].key {
-			return pairs[i].key < pairs[j].key
-		}
-		return pairs[i].pos < pairs[j].pos
-	})
+	pairs = radixSortPairs(pairs, buf)
 
 	// Scan runs: first occurrence of each value not already a target gets
 	// the next ID after the target prefix.

@@ -51,7 +51,12 @@ type table struct {
 	probes int64
 }
 
-func newTable(capacity int) *table {
+// tableSize returns the table size for the given element capacity: the
+// smallest power of two >= 2*capacity, floored at one bucket. The size is a
+// pure function of capacity so a Deduper reusing old backing arrays builds
+// a table identical to a fresh one — table size determines bucket layout
+// and therefore the sub-graph ID order, which must not depend on reuse.
+func tableSize(capacity int) int {
 	size := 1
 	for size < 2*capacity {
 		size <<= 1
@@ -59,11 +64,7 @@ func newTable(capacity int) *table {
 	if size < bucketSlots {
 		size = bucketSlots
 	}
-	t := &table{keys: make([]uint64, size), vals: make([]int32, size), mask: uint64(size - 1)}
-	for i := range t.keys {
-		t.keys[i] = emptyKey
-	}
-	return t
+	return size
 }
 
 func hash64(x uint64) uint64 {
@@ -92,16 +93,55 @@ func (t *table) insert(key uint64, v int32) (slot int, found bool) {
 	}
 }
 
+// Deduper is a reusable AppendUnique workspace: the hash table's key/value
+// arrays, the per-position slot record, the bucket counters and the Result
+// buffers all persist across calls, so the steady-state sampling loop pays
+// no allocation for deduplication after warm-up. A Deduper is owned by one
+// goroutine (one per training worker / inference rank under
+// sim.RunParallel) and the Result it returns is only valid until its next
+// AppendUnique call.
+//
+// Reuse is invisible in the output: the table size (and hence the
+// bucket-contiguous ID order) is a pure function of the input sizes, keys
+// are refilled with the empty marker before every call, and values are only
+// ever read from slots whose key was inserted this call.
+type Deduper struct {
+	keys        []uint64
+	vals        []int32
+	slots       []int32
+	bucketCount []int32
+	res         Result
+}
+
+// NewDeduper returns an empty workspace; buffers grow on first use.
+func NewDeduper() *Deduper { return &Deduper{} }
+
 // AppendUnique deduplicates neighbors against the targets and each other.
 // Target IDs must be distinct (training batches and per-hop frontiers are);
-// it panics otherwise. dev may be nil to skip cost accounting.
-func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
-	t := newTable(len(targets) + len(neighbors))
-	res := &Result{
-		Unique:        make([]graph.GlobalID, len(targets), len(targets)+len(neighbors)),
-		NumTargets:    len(targets),
-		NeighborSubID: make([]int32, len(neighbors)),
+// it panics otherwise. dev may be nil to skip cost accounting. The result
+// is overwritten by the next call on this Deduper.
+func (d *Deduper) AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
+	size := tableSize(len(targets) + len(neighbors))
+	if cap(d.keys) < size {
+		d.keys = make([]uint64, size)
+		d.vals = make([]int32, size)
 	}
+	t := &table{keys: d.keys[:size], vals: d.vals[:size], mask: uint64(size - 1)}
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+
+	total := len(targets) + len(neighbors)
+	res := &d.res
+	if cap(res.Unique) < total {
+		res.Unique = make([]graph.GlobalID, total)
+	}
+	res.Unique = res.Unique[:len(targets)]
+	res.NumTargets = len(targets)
+	if cap(res.NeighborSubID) < len(neighbors) {
+		res.NeighborSubID = make([]int32, len(neighbors))
+	}
+	res.NeighborSubID = res.NeighborSubID[:len(neighbors)]
 
 	// Phase 1: insert targets with their list index as value.
 	for i, g := range targets {
@@ -113,7 +153,10 @@ func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result 
 
 	// Phase 2: insert neighbors with value -1; remember each input
 	// position's slot for the final ID lookup.
-	slots := make([]int32, len(neighbors))
+	if cap(d.slots) < len(neighbors) {
+		d.slots = make([]int32, len(neighbors))
+	}
+	slots := d.slots[:len(neighbors)]
 	for i, g := range neighbors {
 		slot, _ := t.insert(uint64(g), -1)
 		slots[i] = int32(slot)
@@ -122,7 +165,11 @@ func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result 
 	// Phase 3: per-bucket count of -1 values, exclusive prefix sum, then
 	// assign neighbor IDs bucket-contiguously after the targets.
 	nBuckets := len(t.keys) / bucketSlots
-	bucketCount := make([]int32, nBuckets)
+	if cap(d.bucketCount) < nBuckets {
+		d.bucketCount = make([]int32, nBuckets)
+	}
+	bucketCount := d.bucketCount[:nBuckets]
+	clear(bucketCount)
 	for b := 0; b < nBuckets; b++ {
 		for s := b * bucketSlots; s < (b+1)*bucketSlots; s++ {
 			if t.keys[s] != emptyKey && t.vals[s] == -1 {
@@ -148,7 +195,11 @@ func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result 
 
 	// Phase 4: emit unique neighbors and the per-position sub-graph IDs.
 	res.Unique = res.Unique[:int(base)+int(sum)]
-	res.DupCount = make([]int32, len(res.Unique))
+	if cap(res.DupCount) < len(res.Unique) {
+		res.DupCount = make([]int32, len(res.Unique))
+	}
+	res.DupCount = res.DupCount[:len(res.Unique)]
+	clear(res.DupCount)
 	for s, k := range t.keys {
 		if k != emptyKey && t.vals[s] >= base {
 			res.Unique[t.vals[s]] = graph.GlobalID(k)
@@ -170,4 +221,12 @@ func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result 
 		})
 	}
 	return res
+}
+
+// AppendUnique is the one-shot form: a fresh workspace per call, returning
+// a Result the caller owns. Steady-state loops should hold a Deduper
+// instead.
+func AppendUnique(dev *sim.Device, targets, neighbors []graph.GlobalID) *Result {
+	var d Deduper
+	return d.AppendUnique(dev, targets, neighbors)
 }

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Hot-path benchmark runner: measures the four headline benchmarks (plus
+# the ablation baselines they are compared against) with -benchmem and
+# -count=5, and distills the raw `go test` output into BENCH_hotpaths.json
+# — one entry per benchmark with min/median ns/op, B/op and allocs/op.
+# The JSON is the repo's perf trajectory baseline: run it before and after
+# a perf PR and compare (benchstat on the raw output works too; it is kept
+# alongside the JSON).
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_hotpaths.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_hotpaths.json}"
+RAW="${OUT%.json}.txt"
+PATTERN='BenchmarkEndToEndEpoch|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee "$RAW"
+
+awk -v raw="$RAW" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip -GOMAXPROCS suffix
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      bop[name]    = bop[name] " " $i
+        if ($(i+1) == "allocs/op") allocs[name] = allocs[name] " " $i
+    }
+}
+function stats(s, arr,   n, i, t) {
+    n = split(s, arr, " ")
+    # insertion sort (n == 5)
+    for (i = 2; i <= n; i++)
+        for (j = i; j > 1 && arr[j-1] + 0 > arr[j] + 0; j--) {
+            t = arr[j]; arr[j] = arr[j-1]; arr[j-1] = t
+        }
+    return n
+}
+END {
+    printf "{\n  \"source\": \"%s\",\n  \"benchmarks\": [\n", raw
+    first = 1
+    for (name in ns) order[++cnt] = name
+    # stable output order: sort names
+    for (i = 2; i <= cnt; i++)
+        for (j = i; j > 1 && order[j-1] > order[j]; j--) {
+            t = order[j]; order[j] = order[j-1]; order[j-1] = t
+        }
+    for (i = 1; i <= cnt; i++) {
+        name = order[i]
+        n = stats(ns[name], a)
+        med_ns = a[int((n+1)/2)]; min_ns = a[1]
+        n = stats(bop[name], b); med_b = (n ? b[int((n+1)/2)] : 0)
+        n = stats(allocs[name], c); med_al = (n ? c[int((n+1)/2)] : 0)
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"min_ns_per_op\": %s, \"median_ns_per_op\": %s, \"median_bytes_per_op\": %s, \"median_allocs_per_op\": %s}", \
+            name, min_ns, med_ns, med_b, med_al
+    }
+    printf "\n  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT (raw output in $RAW)"
