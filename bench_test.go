@@ -267,6 +267,36 @@ func BenchmarkEndToEndEpoch(b *testing.B) {
 	b.ReportMetric(last.EpochTime*1e3, "virtual-ms/epoch")
 }
 
+// benchmarkPipelineEpoch is the sequential-vs-overlapped pair behind
+// BENCH_pipeline.json: identical workloads (batch 8 so each epoch has
+// several iterations to pipeline), differing only in whether the loader
+// prefetches the next batch on the copy stream. ns/op is the host cost of
+// running the simulation; virtual-ms/epoch is the modeled training time.
+func benchmarkPipelineEpoch(b *testing.B, pipeline bool) {
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := wholegraph.NewDGXA100(1)
+	tr, err := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+		Arch: "graphsage", Batch: 8, Fanouts: []int{5, 5}, Hidden: 32,
+		Pipeline: pipeline,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last wholegraph.EpochStats
+	for i := 0; i < b.N; i++ {
+		last = tr.RunEpoch()
+	}
+	b.ReportMetric(last.EpochTime*1e3, "virtual-ms/epoch")
+	b.ReportMetric(last.Timing.Crit*1e3, "virtual-crit-ms")
+}
+
+func BenchmarkPipelineEpochSequential(b *testing.B) { benchmarkPipelineEpoch(b, false) }
+func BenchmarkPipelineEpochOverlapped(b *testing.B) { benchmarkPipelineEpoch(b, true) }
+
 // --- Benches for the extension modules ---
 
 func BenchmarkPageRank(b *testing.B) {

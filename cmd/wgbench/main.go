@@ -10,6 +10,7 @@
 //	wgbench -exp table3 -parallel    # fan independent cells across cores
 //	wgbench -exp all -json out.json  # machine-readable results
 //	wgbench -exp fig9 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	wgbench -exp table5 -pipeline -cache-rows 500  # overlapped loaders + feature cache
 //
 // Reported times are virtual seconds from the machine simulation; see
 // EXPERIMENTS.md for the paper-vs-measured comparison and the scaling
@@ -55,6 +56,7 @@ var experiments = []struct {
 	{"abl-cache", "ablation: hot-node feature cache sizes", wrap(bench.AblationCache)},
 	{"abl-hw", "ablation: NVSwitch vs PCIe-only fabric", wrap(bench.AblationHardware)},
 	{"abl-part", "ablation: hash vs range vs community node placement", wrap(bench.AblationPartition)},
+	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 }
@@ -74,6 +76,11 @@ type jsonReport struct {
 	Epochs      int              `json:"epochs"`
 	Seed        int64            `json:"seed"`
 	Parallel    bool             `json:"parallel"`
+	Pipeline    bool             `json:"pipeline"`
+	CacheRows   int              `json:"cache_rows"`
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	CacheHit    float64          `json:"cache_hit_rate"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
 	StartedAt   time.Time        `json:"started_at"`
 	WallSeconds float64          `json:"wall_seconds"`
@@ -89,16 +96,18 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
-		scale    = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
-		quick    = flag.Bool("quick", false, "reduced model sizes and iteration counts")
-		epochs   = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
-		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
-		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
+		exp       = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
+		scale     = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
+		quick     = flag.Bool("quick", false, "reduced model sizes and iteration counts")
+		epochs    = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
+		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (identical math, shorter virtual epochs)")
+		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
+		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	)
 	flag.Parse()
 
@@ -111,7 +120,8 @@ func main() {
 
 	cfg := bench.Config{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
-		Parallel: *parallel, W: os.Stdout,
+		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
+		W: os.Stdout,
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(*exp, ",") {
@@ -119,7 +129,8 @@ func main() {
 	}
 	report := jsonReport{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
-		Parallel: *parallel, GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
+		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -171,6 +182,12 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "wgbench: no experiment matched %q (use -list)\n", *exp)
 		os.Exit(2)
+	}
+	if hits, misses := bench.CacheCounters(); hits+misses > 0 {
+		report.CacheHits, report.CacheMisses = hits, misses
+		report.CacheHit = float64(hits) / float64(hits+misses)
+		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*report.CacheHit)
 	}
 	if *jsonPath != "" {
 		report.WallSeconds = time.Since(start).Seconds()

@@ -36,6 +36,8 @@ func main() {
 		evalEvery = flag.Int("eval-every", 1, "epochs between validation runs (0 = never)")
 		loadPath  = flag.String("load", "", "load a dataset saved with wggen -save instead of generating")
 		weighted  = flag.Bool("weighted", false, "attach synthetic edge weights (weighted aggregation)")
+		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (WholeGraph only; identical math)")
+		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (WholeGraph only; 0 = no cache)")
 		traceOut  = flag.String("trace-out", "", "write worker 0's device timeline as a Chrome trace JSON")
 		fullInfer = flag.Bool("full-infer", false, "run full-graph layer-wise inference after training (WholeGraph only)")
 		saveModel = flag.String("save-model", "", "write the trained model's parameters to a checkpoint file")
@@ -74,6 +76,7 @@ func main() {
 	opts := wholegraph.TrainOptions{
 		Arch: *model, Batch: *batch, Fanouts: fanouts, Hidden: *hidden,
 		Heads: *heads, LR: *lr, Dropout: float32(*dropout), Seed: *seed,
+		Pipeline: *pipeline, CacheRows: *cacheRows,
 	}
 	opts.Trace = *traceOut != ""
 	var trainer *wholegraph.Trainer
@@ -99,20 +102,24 @@ func main() {
 	fmt.Printf("store setup: %.1f ms (virtual)\n\n", machine.MaxTime()*1e3)
 	machine.Reset()
 
-	fmt.Printf("%5s %10s %10s %10s %10s %8s %8s %8s\n",
-		"epoch", "time", "sample", "gather", "train", "loss", "acc", "val")
+	fmt.Printf("%5s %10s %10s %10s %10s %10s %8s %8s %8s\n",
+		"epoch", "time", "sample", "gather", "train", "crit", "loss", "acc", "val")
 	for e := 1; e <= *epochs; e++ {
 		st := trainer.RunEpoch()
 		val := "-"
 		if *evalEvery > 0 && e%*evalEvery == 0 {
 			val = fmt.Sprintf("%.3f", trainer.Evaluate(ds.Val, 512))
 		}
-		fmt.Printf("%5d %10s %10s %10s %10s %8.3f %8.3f %8s\n",
+		fmt.Printf("%5d %10s %10s %10s %10s %10s %8.3f %8.3f %8s\n",
 			st.Epoch, ms(st.EpochTime), ms(st.Timing.Sample), ms(st.Timing.Gather),
-			ms(st.Timing.Train), st.Loss, st.TrainAcc, val)
+			ms(st.Timing.Train), ms(st.Timing.Crit), st.Loss, st.TrainAcc, val)
 	}
 	if len(ds.Test) > 0 {
 		fmt.Printf("\ntest accuracy: %.3f\n", trainer.Evaluate(ds.Test, 1024))
+	}
+	if hits, misses := trainer.CacheStats(); hits+misses > 0 {
+		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 	if *fullInfer {
 		if len(trainer.Stores) == 0 {

@@ -40,6 +40,14 @@ type Config struct {
 	// printed rows are identical either way: cells share only read-only
 	// state, and rows are printed in order after all cells finish.
 	Parallel bool
+	// Pipeline runs every WholeGraph trainer with cross-iteration batch
+	// prefetch on the copy stream (see train.Options.Pipeline). Model math
+	// and accuracy are bit-identical; epoch times shrink by the overlap.
+	Pipeline bool
+	// CacheRows > 0 gives every WholeGraph worker a hot-node feature cache
+	// of that many highest-degree rows (see train.Options.CacheRows).
+	// Aggregate hit/miss counts are available from CacheCounters.
+	CacheRows int
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -72,7 +80,10 @@ func (c Config) printf(format string, args ...any) {
 // parameters (batch 512, fanout 30/30/30, hidden 256) are reported next to
 // the substituted values.
 func (c Config) trainOpts(arch string) train.Options {
-	o := train.Options{Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed}
+	o := train.Options{
+		Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed,
+		Pipeline: c.Pipeline, CacheRows: c.CacheRows,
+	}
 	if c.Quick {
 		o.Batch = 64
 		o.Fanouts = []int{5, 5, 5}
@@ -90,7 +101,10 @@ func (c Config) trainOpts(arch string) train.Options {
 // accuracyOpts returns smaller options for the convergence experiments
 // (full epochs, many of them).
 func (c Config) accuracyOpts(arch string) train.Options {
-	o := train.Options{Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed}
+	o := train.Options{
+		Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed,
+		Pipeline: c.Pipeline, CacheRows: c.CacheRows,
+	}
 	if c.Quick {
 		o.Batch = 64
 		o.Fanouts = []int{4, 4}
@@ -196,6 +210,9 @@ func newTrainer(fw Framework, nodes int, ds *dataset.Dataset, opts train.Options
 		tr, err = baseline.New(m, ds, opts, baseline.DGL)
 	case FwWholeGraph:
 		tr, err = train.New(m, ds, opts)
+		if err == nil {
+			registerCaches(tr.Caches())
+		}
 	default:
 		err = fmt.Errorf("bench: unknown framework %q", fw)
 	}

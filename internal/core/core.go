@@ -72,22 +72,14 @@ func NewStoreWithFeatureKind(m *sim.Machine, node int, ds *dataset.Dataset, kind
 	return s, nil
 }
 
-// Loader builds training batches for one device. One loader per training
-// process, as in the paper's one-process-per-GPU layout.
-type Loader struct {
-	Store   *Store
-	Dev     *sim.Device
-	Fanouts []int
-	sampler *sampling.GPUSampler
-	cache   *cache.FeatureCache
-	rng     *rand.Rand
-
-	// Batch-building scratch, reused across BuildBatch calls so the
-	// steady-state loop allocates nothing: per-hop neighborhoods, dedup
-	// workspaces and sub-CSR blocks (each hop needs its own, since all hops'
-	// blocks are alive in the returned batch at once), plus the frontier,
-	// feature-row, feature and label buffers. The returned Batch aliases
-	// them and is valid only until the next BuildBatch on this loader.
+// loaderSlot is one entry of the loader's two-slot batch ring: the full
+// batch-building scratch plus everything the produced batch aliases, and
+// the two events that order slot reuse across streams. Each slot's scratch
+// is reused in place, so the steady-state loop allocates nothing: per-hop
+// neighborhoods, dedup workspaces and sub-CSR blocks (each hop needs its
+// own, since all hops' blocks are alive in the returned batch at once),
+// plus the frontier, feature-row, feature and label buffers.
+type loaderSlot struct {
 	curBuf []graph.GlobalID
 	nbs    []*sampling.Neighborhood
 	deds   []*unique.Deduper
@@ -96,6 +88,37 @@ type Loader struct {
 	feat   *tensor.Dense
 	labels []int32
 	batch  gnn.Batch
+	tm     Timing
+	// ready is recorded on the copy stream when a prefetched build
+	// completes; free is recorded on the compute stream when the slot's
+	// batch has been consumed (Release). The zero events never block.
+	ready sim.Event
+	free  sim.Event
+}
+
+// Loader builds training batches for one device. One loader per training
+// process, as in the paper's one-process-per-GPU layout.
+//
+// Batches come out of a two-slot ring: a returned batch aliases its slot's
+// scratch and stays valid while the other slot is (re)built, which is what
+// lets Prefetch construct batch i+1 on the device's copy stream while
+// compute still reads batch i. Ownership: the loader — and both slots —
+// belongs to its worker's goroutine; prefetching overlaps virtual time,
+// not host execution, so no locking is involved.
+type Loader struct {
+	Store   *Store
+	Dev     *sim.Device
+	Fanouts []int
+	sampler *sampling.GPUSampler
+	cache   *cache.FeatureCache
+	rng     *rand.Rand
+
+	slots [2]loaderSlot
+	// next indexes the slot the next build (BuildBatch or Prefetch) writes
+	// to; the most recently returned batch lives in slots[next^1].
+	next int
+	// pending is set between Prefetch and Collect.
+	pending bool
 }
 
 // NewLoader creates a loader on dev sampling with the given per-layer
@@ -124,56 +147,139 @@ func (l *Loader) WithCache(c *cache.FeatureCache) *Loader {
 }
 
 // Timing is the per-phase virtual-time breakdown of Figure 9: how long the
-// device spent sampling (including AppendUnique), gathering features, and
-// training.
+// executing stream spent sampling (including AppendUnique), gathering
+// features, and training. The three stage fields are busy times on
+// whichever stream ran the stage: sequentially all three lie on the
+// device's single compute timeline; under the pipelined loader Sample and
+// Gather accrue on the copy stream, concurrently with Train on the compute
+// stream.
 type Timing struct {
 	Sample float64
 	Gather float64
 	Train  float64
+	// Crit is the iteration critical path: the compute-stream span from
+	// iteration start to optimizer-step end. Sequentially it equals
+	// Sample+Gather+Train (everything is on the critical path); pipelined
+	// it is shorter, because the next batch's Sample+Gather hide behind
+	// Train and only the residual wait surfaces.
+	Crit float64
 }
 
-// Total returns the summed phase time.
+// Total returns the summed per-stage busy time. Stages on different
+// streams overlap, so under the pipelined loader Total exceeds the elapsed
+// critical path; use Crit for elapsed-time claims and Total for busy-time
+// breakdowns (Figure 9 stacks busy time, so it uses Total either way).
 func (t Timing) Total() float64 { return t.Sample + t.Gather + t.Train }
 
-// Add accumulates another timing.
+// Add accumulates another timing field-wise — per-stage busy times and the
+// critical path alike. Sums of per-worker timings are a busy-time view
+// across workers; callers rescale to a per-worker average afterwards (as
+// train.RunEpoch does) when comparing against elapsed time.
 func (t *Timing) Add(o Timing) {
 	t.Sample += o.Sample
 	t.Gather += o.Gather
 	t.Train += o.Train
+	t.Crit += o.Crit
 }
 
 // BuildBatch samples the multi-layer neighborhood of the given target nodes
 // (original IDs), deduplicates each hop with AppendUnique, gathers the
 // input features with the single-kernel global gather, and returns the
-// batch plus the sample/gather timing split.
+// batch plus the sample/gather timing split. Everything is charged to the
+// device's current stream (the compute stream in the sequential training
+// path). The returned batch aliases loader scratch and is valid only until
+// the next-but-one build on this loader.
 func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
-	var tm Timing
+	if l.pending {
+		panic("core: BuildBatch with a prefetch pending; Collect it first")
+	}
+	s := &l.slots[l.next]
+	l.next ^= 1
+	l.buildInto(s, targets)
+	return &s.batch, s.tm
+}
+
+// Prefetch builds the batch for the given targets on the device's copy
+// stream, overlapping whatever the compute stream is doing. The build goes
+// into the ring slot not aliased by the most recently returned batch; the
+// copy stream first waits for that slot's release event, so a prefetch can
+// never overwrite a batch compute still reads. Exactly one Collect must
+// follow before the next Prefetch or BuildBatch.
+//
+// Prefetching changes only which virtual timeline the build is charged to:
+// the sampler RNG and dedup order are those of a sequential BuildBatch
+// with the same targets, so batch contents are bit-identical.
+func (l *Loader) Prefetch(targets []int64) {
+	if l.pending {
+		panic("core: Prefetch with a prefetch already pending")
+	}
+	s := &l.slots[l.next]
+	// The build starts no earlier than its issue point on the current
+	// (compute) stream — a stream cannot run work before the host enqueued
+	// it — and no earlier than the slot's release.
+	issue := l.Dev.RecordEvent()
+	prev := l.Dev.SetStream(sim.StreamCopy)
+	l.Dev.WaitEvent(issue, "wait.issue")
+	l.Dev.WaitEvent(s.free, "wait.slot")
+	l.buildInto(s, targets)
+	s.ready = l.Dev.RecordEvent()
+	l.Dev.SetStream(prev)
+	l.pending = true
+}
+
+// Collect returns the batch built by the preceding Prefetch, stalling the
+// compute stream until the copy stream's ready event if the build is still
+// in flight. The returned Timing carries the copy-stream Sample/Gather
+// busy times of the build.
+func (l *Loader) Collect() (*gnn.Batch, Timing) {
+	if !l.pending {
+		panic("core: Collect without a pending Prefetch")
+	}
+	s := &l.slots[l.next]
+	l.next ^= 1
+	l.pending = false
+	l.Dev.WaitEvent(s.ready, "wait.batch")
+	return &s.batch, s.tm
+}
+
+// Release records on the compute stream that the most recently returned
+// batch (from Collect or BuildBatch) is dead — typically right after
+// backward. The slot's next Prefetch waits on this event before
+// overwriting the scratch.
+func (l *Loader) Release() {
+	l.slots[l.next^1].free = l.Dev.RecordEvent()
+}
+
+// buildInto runs the sample/dedup/gather chain for targets into slot s,
+// charging the device's current stream.
+func (l *Loader) buildInto(s *loaderSlot, targets []int64) {
+	s.tm = Timing{}
 	pg := l.Store.PG
 
-	if l.nbs == nil {
-		l.nbs = make([]*sampling.Neighborhood, len(l.Fanouts))
-		l.deds = make([]*unique.Deduper, len(l.Fanouts))
-		l.blocks = make([]*spops.SubCSR, len(l.Fanouts))
-		for i := range l.nbs {
-			l.nbs[i] = new(sampling.Neighborhood)
-			l.deds[i] = unique.NewDeduper()
-			l.blocks[i] = new(spops.SubCSR)
+	if s.nbs == nil {
+		s.nbs = make([]*sampling.Neighborhood, len(l.Fanouts))
+		s.deds = make([]*unique.Deduper, len(l.Fanouts))
+		s.blocks = make([]*spops.SubCSR, len(l.Fanouts))
+		for i := range s.nbs {
+			s.nbs[i] = new(sampling.Neighborhood)
+			s.deds[i] = unique.NewDeduper()
+			s.blocks[i] = new(spops.SubCSR)
 		}
 	}
 
-	if cap(l.curBuf) < len(targets) {
-		l.curBuf = make([]graph.GlobalID, len(targets))
+	if cap(s.curBuf) < len(targets) {
+		s.curBuf = make([]graph.GlobalID, len(targets))
 	}
-	cur := l.curBuf[:len(targets)]
+	cur := s.curBuf[:len(targets)]
 	for i, v := range targets {
 		cur[i] = pg.Owner[v]
 	}
 
 	t0 := l.Dev.Now()
-	blocks := l.blocks
+	blocks := s.blocks
 	for hop, fan := range l.Fanouts {
-		nb := l.sampler.SampleLayerInto(l.nbs[hop], cur, fan)
-		uq := l.deds[hop].AppendUnique(l.Dev, cur, nb.Neighbors)
+		nb := l.sampler.SampleLayerInto(s.nbs[hop], cur, fan)
+		uq := s.deds[hop].AppendUnique(l.Dev, cur, nb.Neighbors)
 		// The first sampled hop feeds the last GNN layer.
 		blk := blocks[len(l.Fanouts)-1-hop]
 		blk.NumTargets = len(cur)
@@ -192,45 +298,44 @@ func (l *Loader) BuildBatch(targets []int64) (*gnn.Batch, Timing) {
 		}
 		cur = uq.Unique
 	}
-	tm.Sample = l.Dev.Now() - t0
+	s.tm.Sample = l.Dev.Now() - t0
 
 	// Global gather: one kernel reading every input node's feature row
 	// from whichever GPU owns it.
 	dim := pg.Dim
-	if cap(l.rows) < len(cur) {
-		l.rows = make([]int64, len(cur))
+	if cap(s.rows) < len(cur) {
+		s.rows = make([]int64, len(cur))
 	}
-	rows := l.rows[:len(cur)]
+	rows := s.rows[:len(cur)]
 	for i, gid := range cur {
 		rows[i] = pg.FeatRow(gid)
 	}
-	if l.feat == nil {
-		l.feat = tensor.New(len(cur), dim)
+	if s.feat == nil {
+		s.feat = tensor.New(len(cur), dim)
 	} else {
 		n := len(cur) * dim
-		if cap(l.feat.V) < n {
-			l.feat.V = make([]float32, n)
+		if cap(s.feat.V) < n {
+			s.feat.V = make([]float32, n)
 		}
-		l.feat.R, l.feat.C, l.feat.V = len(cur), dim, l.feat.V[:n]
+		s.feat.R, s.feat.C, s.feat.V = len(cur), dim, s.feat.V[:n]
 	}
-	feat := l.feat
+	feat := s.feat
 	t1 := l.Dev.Now()
 	if l.cache != nil {
 		l.cache.GatherRows(rows, dim, feat.V, "gather.feat")
 	} else {
 		pg.Feat.GatherRows(l.Dev, rows, dim, feat.V, "gather.feat")
 	}
-	tm.Gather = l.Dev.Now() - t1
+	s.tm.Gather = l.Dev.Now() - t1
 
-	if cap(l.labels) < len(targets) {
-		l.labels = make([]int32, len(targets))
+	if cap(s.labels) < len(targets) {
+		s.labels = make([]int32, len(targets))
 	}
-	labels := l.labels[:len(targets)]
+	labels := s.labels[:len(targets)]
 	for i, v := range targets {
 		labels[i] = l.Store.DS.Labels[v]
 	}
-	l.batch = gnn.Batch{Blocks: blocks, Feat: feat, Labels: labels}
-	return &l.batch, tm
+	s.batch = gnn.Batch{Blocks: blocks, Feat: feat, Labels: labels}
 }
 
 // EpochBatches partitions the training set into shuffled mini-batches for

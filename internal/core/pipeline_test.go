@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"wholegraph/internal/sim"
+)
+
+// clone deep-copies the fields of a batch that later builds may overwrite.
+func cloneBatchData(b *batchSnapshot, feat []float32, labels []int32, nodes []int) {
+	b.feat = append([]float32(nil), feat...)
+	b.labels = append([]int32(nil), labels...)
+	b.nodes = append([]int(nil), nodes...)
+}
+
+type batchSnapshot struct {
+	feat   []float32
+	labels []int32
+	nodes  []int
+}
+
+func snapshot(l *Loader, targets []int64) batchSnapshot {
+	b, _ := l.BuildBatch(targets)
+	var s batchSnapshot
+	nodes := make([]int, len(b.Blocks))
+	for i, blk := range b.Blocks {
+		nodes[i] = blk.NumNodes
+	}
+	cloneBatchData(&s, b.Feat.V, b.Labels, nodes)
+	return s
+}
+
+// TestRingKeepsPreviousBatchAlive: a returned batch must stay intact while
+// the next one is built — the property the pipelined trainer relies on to
+// run forward/backward on batch i while batch i+1 materializes.
+func TestRingKeepsPreviousBatchAlive(t *testing.T) {
+	m, s := testStore(t)
+	m.Reset()
+	ld := NewLoader(s, m.Devs[0], []int{4, 4}, 1)
+	a, _ := ld.BuildBatch(s.DS.Train[:8])
+	var snap batchSnapshot
+	nodes := make([]int, len(a.Blocks))
+	for i, blk := range a.Blocks {
+		nodes[i] = blk.NumNodes
+	}
+	cloneBatchData(&snap, a.Feat.V, a.Labels, nodes)
+
+	ld.BuildBatch(s.DS.Train[8:16]) // overwrites the other slot only
+
+	for i, v := range snap.feat {
+		if a.Feat.V[i] != v {
+			t.Fatalf("feature %d of batch A changed during build of batch B", i)
+		}
+	}
+	for i, v := range snap.labels {
+		if a.Labels[i] != v {
+			t.Fatalf("label %d of batch A changed during build of batch B", i)
+		}
+	}
+	for i, blk := range a.Blocks {
+		if blk.NumNodes != snap.nodes[i] {
+			t.Fatalf("block %d of batch A resized during build of batch B", i)
+		}
+	}
+}
+
+// TestPrefetchMatchesBuildBatch: prefetching must change only which stream
+// is charged, never the batch contents — same sampler RNG, same dedup
+// order, same gathered rows.
+func TestPrefetchMatchesBuildBatch(t *testing.T) {
+	// Two identical machines: the device index must match, because the
+	// local/remote gather split — and so the charged time — depends on
+	// which partitions are local to the loader's device.
+	m1, s1 := testStore(t)
+	m1.Reset()
+	m2, s2 := testStore(t)
+	m2.Reset()
+	seq := NewLoader(s1, m1.Devs[0], []int{4, 4}, 9)
+	pre := NewLoader(s2, m2.Devs[0], []int{4, 4}, 9)
+	for round := 0; round < 3; round++ {
+		targets := s1.DS.Train[round*8 : round*8+8]
+		sb, stm := seq.BuildBatch(targets)
+		pre.Prefetch(targets)
+		pb, ptm := pre.Collect()
+		pre.Release()
+		if stm.Sample != ptm.Sample || stm.Gather != ptm.Gather {
+			t.Errorf("round %d: stage times differ: sequential %+v prefetched %+v", round, stm, ptm)
+		}
+		if len(sb.Feat.V) != len(pb.Feat.V) {
+			t.Fatalf("round %d: feature sizes differ", round)
+		}
+		for i := range sb.Feat.V {
+			if sb.Feat.V[i] != pb.Feat.V[i] {
+				t.Fatalf("round %d: feature %d differs", round, i)
+			}
+		}
+		for i := range sb.Blocks {
+			if sb.Blocks[i].NumNodes != pb.Blocks[i].NumNodes ||
+				sb.Blocks[i].NumEdges() != pb.Blocks[i].NumEdges() {
+				t.Fatalf("round %d block %d: shape differs", round, i)
+			}
+		}
+	}
+}
+
+// TestPrefetchOverlapsCompute exercises the event protocol end to end: a
+// prefetch issued before compute work runs concurrently with it on the
+// virtual timeline, and Collect only pays the residual wait.
+func TestPrefetchOverlapsCompute(t *testing.T) {
+	m, s := testStore(t)
+	m.Reset()
+	dev := m.Devs[0]
+	ld := NewLoader(s, dev, []int{4, 4}, 3)
+
+	ld.Prefetch(s.DS.Train[:8])
+	buildTime := dev.StreamNow(sim.StreamCopy) - dev.StreamNow(sim.StreamCompute)
+	if buildTime <= 0 {
+		t.Fatal("prefetch charged nothing to the copy stream")
+	}
+	// Compute longer than the build: Collect must not block at all.
+	dev.Kernel(sim.KernelCost{FLOPs: 1e9, Tag: "train"})
+	if dev.Now() <= dev.StreamNow(sim.StreamCopy) {
+		t.Fatalf("test setup: compute %g did not outlast the build %g",
+			dev.Now(), dev.StreamNow(sim.StreamCopy))
+	}
+	before := dev.Now()
+	ld.Collect()
+	if dev.Now() != before {
+		t.Errorf("Collect stalled %g s despite the build having finished", dev.Now()-before)
+	}
+	ld.Release()
+
+	// Now the converse: prefetch with idle compute; Collect pays the full
+	// residual build time.
+	ld.Prefetch(s.DS.Train[8:16])
+	before = dev.Now()
+	ld.Collect()
+	if dev.Now() <= before {
+		t.Error("Collect did not wait for an in-flight build")
+	}
+	ld.Release()
+}
+
+// TestPrefetchWaitsForSlotRelease: the copy stream must not overwrite a
+// slot before the compute stream released it.
+func TestPrefetchWaitsForSlotRelease(t *testing.T) {
+	m, s := testStore(t)
+	m.Reset()
+	dev := m.Devs[0]
+	ld := NewLoader(s, dev, []int{4}, 4)
+
+	ld.Prefetch(s.DS.Train[:8])
+	ld.Collect() // batch 0 in flight on compute
+	ld.Prefetch(s.DS.Train[8:16])
+	ld.Collect()
+	// Long compute before releasing batch 1's slot.
+	dev.Kernel(sim.KernelCost{FLOPs: 1e10, Tag: "train"})
+	ld.Release()
+	releasedAt := dev.Now()
+	ld.Prefetch(s.DS.Train[16:24]) // reuses the slot released just now
+	// The new build must start at or after the release point.
+	copyEnd := dev.StreamNow(sim.StreamCopy)
+	if copyEnd < releasedAt {
+		t.Errorf("prefetch finished at %g, before the slot release at %g", copyEnd, releasedAt)
+	}
+	ld.Collect()
+	ld.Release()
+}
+
+// TestLoaderGuards: misuse of the prefetch protocol panics rather than
+// corrupting the ring.
+func TestLoaderGuards(t *testing.T) {
+	m, s := testStore(t)
+	m.Reset()
+	ld := NewLoader(s, m.Devs[0], []int{4}, 5)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Collect without Prefetch", func() { ld.Collect() })
+	ld.Prefetch(s.DS.Train[:4])
+	expectPanic("double Prefetch", func() { ld.Prefetch(s.DS.Train[4:8]) })
+	expectPanic("BuildBatch with pending prefetch", func() { ld.BuildBatch(s.DS.Train[4:8]) })
+	ld.Collect()
+	ld.Release()
+}

@@ -25,9 +25,10 @@ type chromeEvent struct {
 
 // WriteChromeTrace writes the recorded intervals of the given devices as a
 // Chrome Trace Event JSON array. Devices appear as threads of one process
-// per machine node; idle intervals are emitted in an "idle" category so the
-// viewer can filter them. Devices without tracing enabled contribute
-// nothing.
+// per machine node, with a device's copy stream (when used) as a separate
+// lane next to its compute stream; idle intervals are emitted in an "idle"
+// category so the viewer can filter them. Devices without tracing enabled
+// contribute nothing.
 func WriteChromeTrace(w io.Writer, devs []*Device) error {
 	var events []chromeEvent
 	for _, d := range devs {
@@ -40,6 +41,11 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 					name = "idle"
 				}
 			}
+			tid := 2 * d.Local
+			if iv.Stream == StreamCopy {
+				cat += ".copy"
+				tid++
+			}
 			events = append(events, chromeEvent{
 				Name: name,
 				Cat:  cat,
@@ -47,7 +53,7 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 				TsUs: iv.Start * 1e6,
 				DUs:  (iv.End - iv.Start) * 1e6,
 				PID:  d.Node,
-				TID:  d.Local,
+				TID:  tid,
 			})
 		}
 	}

@@ -2,31 +2,41 @@ package sim
 
 import "math"
 
-// DeviceStats accumulates op counts for reporting and tests.
+// DeviceStats accumulates op counts for reporting and tests. BusySeconds
+// and IdleSeconds cover the compute stream; time charged while the copy
+// stream is current accrues to CopyBusySeconds/CopyIdleSeconds instead, so
+// the compute totals stay comparable to wall time even when the streams
+// overlap.
 type DeviceStats struct {
-	Kernels       int64
-	FLOPs         float64
-	LocalBytes    float64
-	RemoteBytes   float64
-	HostBytes     float64
-	AllocatedByte float64
-	BusySeconds   float64
-	IdleSeconds   float64
+	Kernels         int64
+	FLOPs           float64
+	LocalBytes      float64
+	RemoteBytes     float64
+	HostBytes       float64
+	AllocatedByte   float64
+	BusySeconds     float64
+	IdleSeconds     float64
+	CopyBusySeconds float64
+	CopyIdleSeconds float64
 }
 
-// Device is one simulated GPU. All methods advance the device's virtual
-// clock; none of them are safe for concurrent use on the same device.
-// Under RunParallel, each device is owned by exactly one goroutine between
-// barriers (see exec.go); distinct devices may be driven concurrently
-// because a device's clock, trace and stats are touched only by its owner.
+// Device is one simulated GPU with two virtual timelines: a compute
+// stream and a copy stream (see stream.go). All methods advance the
+// currently selected stream's clock; none of them are safe for concurrent
+// use on the same device. Under RunParallel, each device — both its
+// streams — is owned by exactly one goroutine between barriers (see
+// exec.go); distinct devices may be driven concurrently because a device's
+// clocks, trace and stats are touched only by its owner.
 type Device struct {
 	ID    int // global device index
 	Node  int // machine node index
 	Local int // index within the node
 
-	m     *Machine
-	now   float64
-	trace []Interval
+	m       *Machine
+	now     float64    // compute-stream clock
+	copyNow float64    // copy-stream clock
+	stream  StreamKind // stream that charges currently land on
+	trace   []Interval
 	// Tracing controls whether busy/idle intervals are recorded (needed
 	// only for utilization plots; costs memory on long runs).
 	Tracing bool
@@ -36,37 +46,61 @@ type Device struct {
 // Machine returns the machine this device belongs to.
 func (d *Device) Machine() *Machine { return d.m }
 
-// Now returns the device's virtual clock in seconds.
-func (d *Device) Now() float64 { return d.now }
+// Now returns the current stream's virtual clock in seconds.
+func (d *Device) Now() float64 {
+	if d.stream == StreamCopy {
+		return d.copyNow
+	}
+	return d.now
+}
 
-// busy advances the clock by dt seconds of busy (kernel) time.
+// clock returns the current stream's clock for advancing.
+func (d *Device) clock() *float64 {
+	if d.stream == StreamCopy {
+		return &d.copyNow
+	}
+	return &d.now
+}
+
+// busy advances the current stream by dt seconds of busy (kernel) time.
 func (d *Device) busy(dt float64, tag string) {
 	if dt <= 0 {
 		return
 	}
+	clk := d.clock()
 	if d.Tracing {
-		d.trace = append(d.trace, Interval{Start: d.now, End: d.now + dt, Busy: true, Tag: tag})
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Tag: tag, Stream: d.stream})
 	}
-	d.now += dt
-	d.Stats.BusySeconds += dt
+	*clk += dt
+	if d.stream == StreamCopy {
+		d.Stats.CopyBusySeconds += dt
+	} else {
+		d.Stats.BusySeconds += dt
+	}
 }
 
-// idle advances the clock by dt seconds of idle (waiting) time.
+// idle advances the current stream by dt seconds of idle (waiting) time.
 func (d *Device) idle(dt float64, tag string) {
 	if dt <= 0 {
 		return
 	}
+	clk := d.clock()
 	if d.Tracing {
-		d.trace = append(d.trace, Interval{Start: d.now, End: d.now + dt, Busy: false, Tag: tag})
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: false, Tag: tag, Stream: d.stream})
 	}
-	d.now += dt
-	d.Stats.IdleSeconds += dt
+	*clk += dt
+	if d.stream == StreamCopy {
+		d.Stats.CopyIdleSeconds += dt
+	} else {
+		d.Stats.IdleSeconds += dt
+	}
 }
 
-// IdleUntil advances the clock to t (if in the future) as idle time.
+// IdleUntil advances the current stream's clock to t (if in the future) as
+// idle time.
 func (d *Device) IdleUntil(t float64) {
-	if t > d.now {
-		d.idle(t-d.now, "wait")
+	if t > d.Now() {
+		d.idle(t-d.Now(), "wait")
 	}
 }
 

@@ -9,8 +9,9 @@ import (
 //
 // The simulation's concurrency model is ownership with barriers: between two
 // barrier points, every Device (and every CPU) is owned by exactly one
-// goroutine, which is the only one allowed to advance its clock, append to
-// its trace, or update its stats. Shared allocations (wholemem shards, the
+// goroutine, which is the only one allowed to advance its clocks — both the
+// compute and the copy stream, which are two timelines of one owned device,
+// never split across goroutines — append to its trace, or update its stats. Shared allocations (wholemem shards, the
 // partitioned graph, generated datasets) are read-only during parallel
 // regions; writes to shared tables must target disjoint ranges (as the
 // scatter of layer-wise inference does). Barriers, collectives

@@ -227,10 +227,13 @@ func (m *Machine) AddCPU(node int) *CPU {
 	return c
 }
 
-// Reset zeroes all clocks, traces and statistics, keeping the topology.
+// Reset zeroes all clocks (both streams), traces and statistics, keeping
+// the topology. The compute stream becomes current on every device.
 func (m *Machine) Reset() {
 	for _, d := range m.Devs {
 		d.now = 0
+		d.copyNow = 0
+		d.stream = StreamCompute
 		d.trace = nil
 		d.Stats = DeviceStats{}
 	}
@@ -239,12 +242,16 @@ func (m *Machine) Reset() {
 	}
 }
 
-// MaxTime returns the largest device clock in the machine.
+// MaxTime returns the largest clock in the machine, across both device
+// streams and the host CPUs.
 func (m *Machine) MaxTime() float64 {
 	t := 0.0
 	for _, d := range m.Devs {
 		if d.now > t {
 			t = d.now
+		}
+		if d.copyNow > t {
+			t = d.copyNow
 		}
 	}
 	for _, c := range m.CPUs {
@@ -255,11 +262,14 @@ func (m *Machine) MaxTime() float64 {
 	return t
 }
 
-// Barrier synchronizes the clocks of the given devices to their maximum,
-// modelling a blocking synchronization point (e.g. the implicit barrier in a
-// collective). Idle time is recorded on devices that arrive early. Barrier
-// reads and advances every given clock, so it must run from the
-// orchestrating goroutine, never from inside a RunParallel region.
+// Barrier synchronizes the compute-stream clocks of the given devices to
+// their maximum, modelling a blocking synchronization point (e.g. the
+// implicit barrier in a collective). Copy streams are not joined: a
+// prefetch in flight keeps running through a collective, exactly the
+// overlap the pipelined loader exploits. Idle time is recorded on devices
+// that arrive early. Barrier reads and advances every given clock, so it
+// must run from the orchestrating goroutine, never from inside a
+// RunParallel region, and with every device on its compute stream.
 func Barrier(devs []*Device) float64 {
 	t := 0.0
 	for _, d := range devs {

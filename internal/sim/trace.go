@@ -1,10 +1,25 @@
 package sim
 
-// Interval is one busy or idle span on a device timeline.
+// Interval is one busy or idle span on a device timeline. Stream records
+// which of the device's two timelines the span lies on; utilization
+// helpers below treat the trace as one timeline, so pass a filtered trace
+// (FilterStream) when the run used both streams.
 type Interval struct {
 	Start, End float64
 	Busy       bool
 	Tag        string
+	Stream     StreamKind
+}
+
+// FilterStream returns the intervals of one stream, preserving order.
+func FilterStream(trace []Interval, k StreamKind) []Interval {
+	out := make([]Interval, 0, len(trace))
+	for _, iv := range trace {
+		if iv.Stream == k {
+			out = append(out, iv)
+		}
+	}
+	return out
 }
 
 // Trace returns the recorded intervals. Tracing must have been enabled

@@ -50,3 +50,42 @@ func TestSteadyStateEpochAllocs(t *testing.T) {
 			perIter, iters, epochAllocBudget)
 	}
 }
+
+// TestSteadyStatePipelinedEpochAllocs holds the pipelined loader to the
+// same per-iteration budget as the sequential path: double-buffering the
+// batch scratch doubles warm-up allocation but must add zero steady-state
+// allocs — prefetch just moves the same builds onto the copy stream.
+func TestSteadyStatePipelinedEpochAllocs(t *testing.T) {
+	prev := sim.SetParallel(false)
+	defer sim.SetParallel(prev)
+
+	m := sim.NewMachine(sim.DGXA100(1))
+	ds := smallDataset(t)
+	opts := smallOpts("graphsage")
+	opts.Batch = 8
+	opts.Pipeline = true
+	tr, err := New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Pipelined() {
+		t.Fatal("trainer did not take the pipelined path")
+	}
+	tr.RunEpoch() // warm-up: populates both ring slots with this workload's shapes
+	tr.RunEpoch()
+
+	iters := tr.ItersPerEpoch()
+	if iters == 0 {
+		t.Fatal("no iterations per epoch")
+	}
+	n := testing.AllocsPerRun(5, func() {
+		tr.RunEpoch()
+	})
+	perIter := n / float64(iters)
+	t.Logf("steady-state pipelined epoch: %.0f allocs (%.1f/iter over %d iters, budget %d/iter)",
+		n, perIter, iters, epochAllocBudget)
+	if perIter > epochAllocBudget {
+		t.Fatalf("steady-state pipelined epoch allocated %.1f times per iteration (%d iters), budget %d",
+			perIter, iters, epochAllocBudget)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"wholegraph/internal/autograd"
+	"wholegraph/internal/cache"
 	"wholegraph/internal/core"
 	"wholegraph/internal/dataset"
 	"wholegraph/internal/gnn"
@@ -53,6 +54,18 @@ type Options struct {
 	MaxItersPerEpoch int
 	// Trace enables busy/idle interval recording on worker 0's device.
 	Trace bool
+	// Pipeline overlaps batch extraction with model compute: each worker's
+	// loader prefetches batch i+1 on its device's copy stream while
+	// iteration i runs forward/backward on the compute stream (§IV,
+	// Fig. 10). Model state, losses and gradients are bit-identical to the
+	// sequential run; only virtual time improves. Ignored when a loader
+	// does not implement PrefetchingLoader (the host-memory baselines).
+	Pipeline bool
+	// CacheRows, when positive, fronts each worker's feature gathers with
+	// a degree-ordered hot-node cache of that many rows (internal/cache).
+	// Gather values are unchanged; only the local/remote traffic split —
+	// and therefore virtual gather time — moves.
+	CacheRows int
 }
 
 // Normalize fills defaults (paper's §IV settings scaled only where the
@@ -103,6 +116,22 @@ type BatchLoader interface {
 	Device() *sim.Device
 }
 
+// PrefetchingLoader is a BatchLoader that can additionally build the next
+// batch on its device's copy stream while compute consumes the current
+// one (core.Loader's two-slot ring). Options.Pipeline uses this path when
+// every worker's loader implements it; baselines that only BuildBatch run
+// sequentially regardless.
+type PrefetchingLoader interface {
+	BatchLoader
+	// Prefetch starts building the batch for targets on the copy stream.
+	Prefetch(targets []int64)
+	// Collect waits for and returns the prefetched batch.
+	Collect() (*gnn.Batch, core.Timing)
+	// Release marks the most recently collected batch dead, unblocking
+	// reuse of its ring slot.
+	Release()
+}
+
 // Trainer is the data-parallel trainer over a simulated machine. With the
 // WholeGraph loader each machine node holds one replica of the graph store
 // (§III-D); with a baseline loader the graph lives in host memory.
@@ -114,7 +143,8 @@ type Trainer struct {
 	Opts4   []*nn.Adam    // optimizer per real worker
 	ds      *dataset.Dataset
 	loaders []BatchLoader
-	shards  [][]int64 // training shard per worker slot (all devices)
+	caches  []*cache.FeatureCache // per real worker; empty without Options.CacheRows
+	shards  [][]int64             // training shard per worker slot (all devices)
 	rng     *rand.Rand
 	epoch   int
 
@@ -130,7 +160,9 @@ type Trainer struct {
 }
 
 // New builds a WholeGraph trainer: it partitions the store onto every node
-// (charging setup) and instantiates identical model replicas.
+// (charging setup) and instantiates identical model replicas. With
+// Options.CacheRows it also builds one degree-ordered feature cache per
+// worker, charging the one-time fill.
 func New(m *sim.Machine, ds *dataset.Dataset, opts Options) (*Trainer, error) {
 	opts = opts.Normalize()
 	var stores []*core.Store
@@ -141,13 +173,29 @@ func New(m *sim.Machine, ds *dataset.Dataset, opts Options) (*Trainer, error) {
 		}
 		stores = append(stores, s)
 	}
+	var caches []*cache.FeatureCache
+	var cacheErr error
 	t, err := NewCustom(m, ds, opts, func(w int, dev *sim.Device) BatchLoader {
-		return core.NewLoader(stores[0], dev, opts.Fanouts, opts.Seed+int64(w))
+		ld := core.NewLoader(stores[0], dev, opts.Fanouts, opts.Seed+int64(w))
+		if opts.CacheRows > 0 && cacheErr == nil {
+			fc, err := cache.NewDegreeCache(stores[0].PG, dev, opts.CacheRows)
+			if err != nil {
+				cacheErr = err
+				return ld
+			}
+			caches = append(caches, fc)
+			ld.WithCache(fc)
+		}
+		return ld
 	})
 	if err != nil {
 		return nil, err
 	}
+	if cacheErr != nil {
+		return nil, fmt.Errorf("train: building feature cache: %w", cacheErr)
+	}
 	t.Stores = stores
+	t.caches = caches
 	return t, nil
 }
 
@@ -259,10 +307,50 @@ func (t *Trainer) averageGradients() {
 	sim.HierarchicalAllReduce(t.Machine, bytes)
 }
 
+// Pipelined reports whether epochs run the overlapped loader path:
+// Options.Pipeline is set and every worker's loader supports prefetching.
+func (t *Trainer) Pipelined() bool {
+	if !t.Opts.Pipeline {
+		return false
+	}
+	for _, ld := range t.loaders {
+		if _, ok := ld.(PrefetchingLoader); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// maxComputeTime is the largest compute-stream clock in the machine; the
+// pipelined path uses it as the iteration baseline so in-flight copy
+// streams (which may run ahead) do not skew the mirror-device charge.
+func maxComputeTime(m *sim.Machine) float64 {
+	t := 0.0
+	for _, d := range m.Devs {
+		if n := d.StreamNow(sim.StreamCompute); n > t {
+			t = n
+		}
+	}
+	for _, c := range m.CPUs {
+		if c.Now() > t {
+			t = c.Now()
+		}
+	}
+	return t
+}
+
 // RunEpoch trains one epoch and returns its statistics. Per iteration, each
 // real worker builds and trains on its own batch; mirror devices are
 // advanced by the real workers' mean busy time so machine-level clocks and
 // the AllReduce barrier behave as with a full worker set.
+//
+// With Options.Pipeline and prefetch-capable loaders, each worker collects
+// the batch its loader prefetched on the copy stream, immediately issues
+// the prefetch of the next batch, and only then runs forward/backward — so
+// batch i+1's sample/dedup/gather overlaps iteration i's compute. The real
+// (host) execution per worker stays serial and the loader consumes targets
+// in the same order, so losses, gradients and model state are bit-identical
+// to the sequential path; only the virtual clocks differ.
 func (t *Trainer) RunEpoch() EpochStats {
 	t.epoch++
 	stats := EpochStats{Epoch: t.epoch}
@@ -271,6 +359,7 @@ func (t *Trainer) RunEpoch() EpochStats {
 	if t.Opts.MaxItersPerEpoch > 0 && measured > t.Opts.MaxItersPerEpoch {
 		measured = t.Opts.MaxItersPerEpoch
 	}
+	pipelined := t.Pipelined()
 	start := t.Machine.MaxTime()
 	batches := make([][][]int64, len(t.Models))
 	for w := range t.Models {
@@ -279,6 +368,7 @@ func (t *Trainer) RunEpoch() EpochStats {
 
 	var lossSum, accSum float64
 	timings := make([]core.Timing, len(t.Models))
+	iterDevStart := make([]float64, len(t.Models))
 	trainStart := make([]float64, len(t.Models))
 	// Per-worker results of one iteration's parallel region; losses and
 	// accuracies are reduced in worker order after the join so the sums are
@@ -289,14 +379,30 @@ func (t *Trainer) RunEpoch() EpochStats {
 	results := make([]workerResult, len(t.Models))
 	for it := 0; it < measured; it++ {
 		iterStart := t.Machine.MaxTime()
+		if pipelined {
+			iterStart = maxComputeTime(t.Machine)
+		}
 		// Forward + backward on every real worker. Workers are independent
 		// until the gradient AllReduce: each owns its device, loader, model
 		// replica and RNG streams, so they run on real goroutines.
 		sim.RunParallel(len(t.Models), func(w int) {
 			mdl := t.Models[w]
 			dev := t.loaders[w].Device()
-			bIDs := batches[w][it%len(batches[w])]
-			b, tm := t.loaders[w].BuildBatch(bIDs)
+			iterDevStart[w] = dev.Now()
+			var b *gnn.Batch
+			var tm core.Timing
+			if pipelined {
+				pl := t.loaders[w].(PrefetchingLoader)
+				if it == 0 {
+					pl.Prefetch(batches[w][0])
+				}
+				b, tm = pl.Collect()
+				if next := it + 1; next < measured {
+					pl.Prefetch(batches[w][next%len(batches[w])])
+				}
+			} else {
+				b, tm = t.loaders[w].BuildBatch(batches[w][it%len(batches[w])])
+			}
 			timings[w] = tm
 			trainStart[w] = dev.Now()
 			tp := t.tapes[w]
@@ -308,6 +414,9 @@ func (t *Trainer) RunEpoch() EpochStats {
 				acc:  tensor.Accuracy(logits.Value, b.Labels),
 			}
 			tp.Backward(logits, grad)
+			if pipelined {
+				t.loaders[w].(PrefetchingLoader).Release()
+			}
 		})
 		for w := range results {
 			lossSum += results[w].loss
@@ -341,6 +450,10 @@ func (t *Trainer) RunEpoch() EpochStats {
 			}
 			t.Opts4[w].Step(dev, mdl.Params())
 			timings[w].Train += dev.Now() - trainStart[w]
+			// Compute-stream span of the whole iteration: with a sequential
+			// loader this equals Sample+Gather+Train; pipelined it is
+			// shorter because extraction hides behind compute.
+			timings[w].Crit = dev.Now() - iterDevStart[w]
 		})
 		for w := range t.Models {
 			stats.Timing.Add(timings[w])
@@ -358,6 +471,7 @@ func (t *Trainer) RunEpoch() EpochStats {
 	stats.Timing.Sample *= scale
 	stats.Timing.Gather *= scale
 	stats.Timing.Train *= scale
+	stats.Timing.Crit *= scale
 	return stats
 }
 
@@ -456,3 +570,17 @@ func (t *Trainer) Predict(ids []int64) [][]float32 {
 
 // Worker0Device returns the traced device of the first real worker.
 func (t *Trainer) Worker0Device() *sim.Device { return t.loaders[0].Device() }
+
+// Caches returns the per-worker feature caches; empty when the trainer was
+// built without Options.CacheRows (or through NewCustom).
+func (t *Trainer) Caches() []*cache.FeatureCache { return t.caches }
+
+// CacheStats sums hit/miss counts across the per-worker feature caches.
+// Both are zero when no cache is attached.
+func (t *Trainer) CacheStats() (hits, misses int64) {
+	for _, c := range t.caches {
+		hits += c.Hits
+		misses += c.Misses
+	}
+	return hits, misses
+}

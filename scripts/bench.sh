@@ -1,30 +1,39 @@
 #!/bin/sh
-# Hot-path benchmark runner: measures the four headline benchmarks (plus
-# the ablation baselines they are compared against) with -benchmem and
-# -count=5, and distills the raw `go test` output into BENCH_hotpaths.json
-# — one entry per benchmark with min/median ns/op, B/op and allocs/op.
-# The JSON is the repo's perf trajectory baseline: run it before and after
-# a perf PR and compare (benchstat on the raw output works too; it is kept
-# alongside the JSON).
+# Hot-path benchmark runner: measures the headline benchmarks (plus the
+# ablation baselines they are compared against) with -benchmem and
+# -count=5, and distills the raw `go test` output into two JSON baselines:
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_hotpaths.json)
+#   BENCH_hotpaths.json — min/median ns/op, B/op and allocs/op of the core
+#     hot paths (the perf trajectory baseline for host cost).
+#   BENCH_pipeline.json — the sequential-vs-overlapped epoch pair: wall
+#     clock ns/op plus the simulated virtual-ms/epoch, the number the
+#     dual-stream prefetch pipeline improves.
+#
+# Run before and after a perf PR and compare (benchstat on the raw output
+# works too; it is kept alongside each JSON).
+#
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json]]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_hotpaths.json}"
-RAW="${OUT%.json}.txt"
-PATTERN='BenchmarkEndToEndEpoch|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
+PIPE_OUT="${2:-BENCH_pipeline.json}"
+PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
+PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee "$RAW"
-
-awk -v raw="$RAW" '
+# distill RAW OUT: median/min ns/op, B/op, allocs/op and any virtual-ms
+# custom metrics from 5 repetitions of each benchmark.
+distill() {
+    raw="$1"; out="$2"
+    awk -v raw="$raw" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)        # strip -GOMAXPROCS suffix
     ns[name] = ns[name] " " $3
     for (i = 4; i <= NF; i++) {
-        if ($(i+1) == "B/op")      bop[name]    = bop[name] " " $i
-        if ($(i+1) == "allocs/op") allocs[name] = allocs[name] " " $i
+        if ($(i+1) == "B/op")               bop[name]    = bop[name] " " $i
+        if ($(i+1) == "allocs/op")          allocs[name] = allocs[name] " " $i
+        if ($(i+1) == "virtual-ms/epoch")   vms[name]    = vms[name] " " $i
     }
 }
 function stats(s, arr,   n, i, t) {
@@ -53,10 +62,24 @@ END {
         n = stats(allocs[name], c); med_al = (n ? c[int((n+1)/2)] : 0)
         if (!first) printf ",\n"
         first = 0
-        printf "    {\"name\": \"%s\", \"min_ns_per_op\": %s, \"median_ns_per_op\": %s, \"median_bytes_per_op\": %s, \"median_allocs_per_op\": %s}", \
+        printf "    {\"name\": \"%s\", \"min_ns_per_op\": %s, \"median_ns_per_op\": %s, \"median_bytes_per_op\": %s, \"median_allocs_per_op\": %s", \
             name, min_ns, med_ns, med_b, med_al
+        if (vms[name] != "") {
+            n = stats(vms[name], v)
+            printf ", \"median_virtual_ms_per_epoch\": %s", v[int((n+1)/2)]
+        }
+        printf "}"
     }
     printf "\n  ]\n}\n"
-}' "$RAW" > "$OUT"
+}' "$raw" > "$out"
+}
 
+RAW="${OUT%.json}.txt"
+go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee "$RAW"
+distill "$RAW" "$OUT"
 echo "wrote $OUT (raw output in $RAW)"
+
+PIPE_RAW="${PIPE_OUT%.json}.txt"
+go test -run '^$' -bench "$PIPE_PATTERN" -benchmem -count=5 . | tee "$PIPE_RAW"
+distill "$PIPE_RAW" "$PIPE_OUT"
+echo "wrote $PIPE_OUT (raw output in $PIPE_RAW)"
