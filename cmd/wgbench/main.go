@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
+	{"serving", "online serving: dynamic batching vs batch=1", wrap(bench.Serving)},
 }
 
 func wrap[T any](f func(bench.Config) (T, error)) func(bench.Config) (any, error) {

@@ -1,0 +1,84 @@
+// Online inference serving end to end: train a small GraphSAGE, deploy it
+// onto the GPUs of one simulated node, and serve the same open-loop
+// Poisson request stream twice — once unbatched (every request runs alone)
+// and once with dynamic batching — comparing throughput, tail latency and
+// drops under identical load. Everything is deterministic virtual time.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wholegraph"
+)
+
+func main() {
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train a model to serve.
+	trainMachine := wholegraph.NewDGXA100(1)
+	trainer, err := wholegraph.NewTrainer(trainMachine, ds, wholegraph.TrainOptions{
+		Arch:    "graphsage",
+		Batch:   64,
+		Fanouts: []int{5, 5},
+		Hidden:  32,
+		LR:      0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training...")
+	for e := 0; e < 5; e++ {
+		trainer.RunEpoch()
+	}
+	model := trainer.Models[0].(wholegraph.LayerwiseModel)
+
+	// Deploy on a 2-GPU node and serve the same stream both ways. The rate
+	// is set above the unbatched capacity, so batch=1 visibly overloads.
+	opts := wholegraph.ServeOptions{
+		Rate:     80000, // requests per virtual second, open loop
+		Requests: 1500,
+		MaxDelay: 0.5e-3, // batches launch after 0.5 ms even if not full
+		SLO:      10e-3,  // report latency against a 10 ms target
+		Deadline: 10e-3,  // drop what cannot launch within it
+		QueueCap: 128,    // shed arrivals beyond this per replica
+		Skew:     1.3,    // Zipf popularity: hot nodes repeat
+		Fanouts:  []int{5, 5},
+		Seed:     1,
+	}
+	fmt.Printf("\n%-10s %8s %6s %6s %10s %10s %10s %8s\n",
+		"mode", "served", "shed", "t/out", "thr req/s", "p50", "p99", "SLO %")
+	for _, mode := range []struct {
+		name     string
+		maxBatch int
+	}{
+		{"batch=1", 1},
+		{"batched", 16},
+	} {
+		cfg := wholegraph.DGXA100Config(1)
+		cfg.GPUsPerNode = 2
+		machine := wholegraph.NewMachine(cfg)
+		o := opts
+		o.MaxBatch = mode.maxBatch
+		srv, err := wholegraph.NewServer(machine, 0, ds, model, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine.Reset() // store + replica setup is one-time, not steady state
+		res, err := srv.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8d %6d %6d %10.0f %9.2fms %9.2fms %7.1f%%\n",
+			mode.name, res.Served, res.Shed, res.TimedOut, res.Throughput,
+			res.P50*1e3, res.P99*1e3, 100*res.SLOAttainment)
+	}
+	fmt.Println("\nsame stream, same model: batching amortizes kernel launches and")
+	fmt.Println("coalesces duplicate hot nodes, so it serves everything the")
+	fmt.Println("unbatched server sheds — at a lower tail latency.")
+}

@@ -106,6 +106,74 @@ func TestCacheReducesGatherTime(t *testing.T) {
 	}
 }
 
+// TestCacheHitAccounting pins the lookup-accounting rule: a cached remote
+// row is a hit, an uncached row on the device's own shard is a hit too
+// (local memory is as good as cached), and only an uncached remote row is
+// a miss.
+func TestCacheHitAccounting(t *testing.T) {
+	m, s := setup(t)
+	dev := m.Devs[0]
+	c, err := cache.NewDegreeCache(s.PG, dev, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("fill perturbed the counters: %d/%d", c.Hits, c.Misses)
+	}
+
+	// One row of each class. Cached rows are remote by construction.
+	rank := s.PG.Comm.RankOfDevice(dev)
+	dim := int64(s.PG.Dim)
+	cached, local, remote := int64(-1), int64(-1), int64(-1)
+	for row := int64(0); row < s.PG.Feat.Len()/dim; row++ {
+		switch {
+		case c.Contains(row):
+			if cached < 0 {
+				cached = row
+			}
+		case s.PG.Feat.RankOf(row*dim) == rank:
+			if local < 0 {
+				local = row
+			}
+		default:
+			if remote < 0 {
+				remote = row
+			}
+		}
+	}
+	if cached < 0 || local < 0 || remote < 0 {
+		t.Fatalf("row classes not all present: cached %d, local %d, remote %d",
+			cached, local, remote)
+	}
+
+	rows := []int64{cached, local, remote}
+	dst := make([]float32, len(rows)*int(dim))
+	c.GatherRows(rows, int(dim), dst, "acct")
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", c.Hits, c.Misses)
+	}
+	if want := 2.0 / 3.0; c.HitRate() != want {
+		t.Fatalf("HitRate = %v, want %v", c.HitRate(), want)
+	}
+
+	// Counters accumulate across calls; the rate is stable for the same mix.
+	c.GatherRows(rows, int(dim), dst, "acct")
+	if c.Hits != 4 || c.Misses != 2 {
+		t.Fatalf("after second gather: hits/misses = %d/%d, want 4/2", c.Hits, c.Misses)
+	}
+	if want := 2.0 / 3.0; c.HitRate() != want {
+		t.Fatalf("HitRate after second gather = %v, want %v", c.HitRate(), want)
+	}
+
+	// A panicking call (dim mismatch, dst too small) rejects its arguments
+	// before touching any accounting.
+	assertPanic(t, func() { c.GatherRows(rows, int(dim)+1, make([]float32, 3*(int(dim)+1)), "x") })
+	assertPanic(t, func() { c.GatherRows(rows, int(dim), dst[:len(dst)-1], "x") })
+	if c.Hits != 4 || c.Misses != 2 {
+		t.Fatalf("panicking calls perturbed the counters: %d/%d", c.Hits, c.Misses)
+	}
+}
+
 func TestCacheErrors(t *testing.T) {
 	m, s := setup(t)
 	s2 := *s

@@ -52,8 +52,13 @@ type Engine struct {
 	Chunks int
 }
 
-// WithChunks sets the pipelined chunk count and returns the engine.
+// WithChunks sets the pipelined chunk count and returns the engine. Values
+// below 1 clamp to 1 (the sequential single-block path), so a computed
+// chunk count that underflows cannot arm a nonsensical configuration.
 func (e *Engine) WithChunks(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
 	e.Chunks = n
 	return e
 }

@@ -74,6 +74,45 @@ func TestChunkedOverlapsGathers(t *testing.T) {
 	}
 }
 
+// TestWithChunksClampsBelowOne: WithChunks must clamp 0 and negative
+// counts to 1 (the sequential path) instead of arming a broken pipeline,
+// and a clamped engine must still run and match the sequential output.
+func TestWithChunksClampsBelowOne(t *testing.T) {
+	_, store, model := testSetup(t, "gcn")
+	eng, err := NewEngine(store, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -1, -100} {
+		if got := eng.WithChunks(n).Chunks; got != 1 {
+			t.Errorf("WithChunks(%d): Chunks = %d, want 1", n, got)
+		}
+	}
+	if got := eng.WithChunks(4).Chunks; got != 4 {
+		t.Errorf("WithChunks(4): Chunks = %d, want 4", got)
+	}
+
+	_, store2, model2 := testSetup(t, "gcn")
+	seqEng, err := NewEngine(store2, model2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := seqEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := eng.WithChunks(-3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.V {
+		if seq.V[i] != clamped.V[i] {
+			t.Fatalf("output element %d: sequential %v vs clamped %v",
+				i, seq.V[i], clamped.V[i])
+		}
+	}
+}
+
 // TestChunkedRepeatedRuns: the chunk scratch must be reusable across Run
 // calls (the engine's amortization contract).
 func TestChunkedRepeatedRuns(t *testing.T) {

@@ -247,11 +247,8 @@ func (m *Machine) Reset() {
 func (m *Machine) MaxTime() float64 {
 	t := 0.0
 	for _, d := range m.Devs {
-		if d.now > t {
-			t = d.now
-		}
-		if d.copyNow > t {
-			t = d.copyNow
+		if s := d.Span(); s > t {
+			t = s
 		}
 	}
 	for _, c := range m.CPUs {

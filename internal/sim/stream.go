@@ -80,6 +80,17 @@ func (d *Device) StreamNow(k StreamKind) float64 {
 	return d.now
 }
 
+// Span returns the device's makespan: the later of its two stream clocks.
+// It is the per-device building block of Machine.MaxTime and the right
+// end-of-run number for code that drove both streams (like the serving
+// replicas and the pipelined loaders).
+func (d *Device) Span() float64 {
+	if d.copyNow > d.now {
+		return d.copyNow
+	}
+	return d.now
+}
+
 // RecordEvent marks the current position of the current stream.
 func (d *Device) RecordEvent() Event { return Event{T: d.Now()} }
 

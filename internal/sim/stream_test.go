@@ -91,6 +91,21 @@ func TestSyncStreamsJoinsBoth(t *testing.T) {
 	}
 }
 
+func TestSpanIsLaterStreamClock(t *testing.T) {
+	d := streamTestDevice()
+	if d.Span() != 0 {
+		t.Fatalf("fresh device Span = %g", d.Span())
+	}
+	d.busy(1.0, "compute")
+	if got := d.Span(); got != 1.0 {
+		t.Errorf("Span = %g, want compute clock 1.0", got)
+	}
+	d.OnStream(StreamCopy, func() { d.busy(2.5, "copy") })
+	if got := d.Span(); got != 2.5 {
+		t.Errorf("Span = %g, want copy clock 2.5", got)
+	}
+}
+
 func TestMaxTimeAndResetCoverCopyStream(t *testing.T) {
 	m := NewMachine(DGXA100(1))
 	d := m.Devs[3]

@@ -8,16 +8,21 @@
 #   BENCH_pipeline.json — the sequential-vs-overlapped epoch pair: wall
 #     clock ns/op plus the simulated virtual-ms/epoch, the number the
 #     dual-stream prefetch pipeline improves.
+#   BENCH_serving.json — the online serving experiment (wgbench -exp
+#     serving): dynamic batching vs the batch=1 baseline at the same
+#     offered load — throughput, shed/timeout counts, p50/p99 and SLO
+#     attainment per mode, in virtual time.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json]]]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_hotpaths.json}"
 PIPE_OUT="${2:-BENCH_pipeline.json}"
+SERVE_OUT="${3:-BENCH_serving.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -83,3 +88,6 @@ PIPE_RAW="${PIPE_OUT%.json}.txt"
 go test -run '^$' -bench "$PIPE_PATTERN" -benchmem -count=5 . | tee "$PIPE_RAW"
 distill "$PIPE_RAW" "$PIPE_OUT"
 echo "wrote $PIPE_OUT (raw output in $PIPE_RAW)"
+
+go run ./cmd/wgbench -exp serving -json "$SERVE_OUT"
+echo "wrote $SERVE_OUT"

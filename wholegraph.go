@@ -42,6 +42,7 @@ import (
 	"wholegraph/internal/infer"
 	"wholegraph/internal/linkpred"
 	"wholegraph/internal/sampling"
+	"wholegraph/internal/serve"
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
 	"wholegraph/internal/tensor"
@@ -247,6 +248,51 @@ const (
 // sampling and gathering, PCIe transfers, identical model math.
 func NewBaselineTrainer(m *Machine, ds *Dataset, opts TrainOptions, flavor BaselineFlavor) (*Trainer, error) {
 	return baseline.New(m, ds, opts, flavor)
+}
+
+// --- Online serving ---
+
+// ServeOptions configures an online serving run (arrival rate, dynamic
+// batching, admission control, SLO); zero values take defaults.
+type ServeOptions = serve.Options
+
+// ServePolicy selects how requests are routed to replicas.
+type ServePolicy = serve.Policy
+
+// Serving routing policies.
+const (
+	ServeCacheAware = serve.PolicyCacheAware
+	ServeOwner      = serve.PolicyOwner
+	ServeRoundRobin = serve.PolicyRoundRobin
+)
+
+// Server serves online node-inference requests over a store with dynamic
+// batching: one replica per GPU of the node, Poisson arrivals, bounded
+// queues with load shedding and deadlines, latency percentiles against a
+// configurable SLO — all in deterministic virtual time.
+type Server = serve.Server
+
+// ServeResult aggregates one serving run (throughput, shed/timeout counts,
+// p50/p95/p99 latency, SLO attainment, per-replica stats).
+type ServeResult = serve.Result
+
+// ServeRequest is one request of the serving trace.
+type ServeRequest = serve.Request
+
+// ServeOutcome records what happened to one request.
+type ServeOutcome = serve.Outcome
+
+// Serving request outcomes.
+const (
+	Served        = serve.OutcomeServed
+	ServeShed     = serve.OutcomeShed
+	ServeTimedOut = serve.OutcomeTimedOut
+)
+
+// NewServer replicates a trained layer-wise model onto every GPU of
+// machine node `node` and prepares the request pipeline.
+func NewServer(m *Machine, node int, ds *Dataset, model LayerwiseModel, opts ServeOptions) (*Server, error) {
+	return serve.New(m, node, ds, model, opts)
 }
 
 // --- Link prediction ---
