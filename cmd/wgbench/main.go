@@ -11,6 +11,7 @@
 //	wgbench -exp all -json out.json  # machine-readable results
 //	wgbench -exp fig9 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	wgbench -exp table5 -pipeline -cache-rows 500  # overlapped loaders + feature cache
+//	wgbench -exp abl-overlap-grads -overlap-grads  # bucketed gradient/backward overlap
 //
 // Reported times are virtual seconds from the machine simulation; see
 // EXPERIMENTS.md for the paper-vs-measured comparison and the scaling
@@ -57,6 +58,7 @@ var experiments = []struct {
 	{"abl-hw", "ablation: NVSwitch vs PCIe-only fabric", wrap(bench.AblationHardware)},
 	{"abl-part", "ablation: hash vs range vs community node placement", wrap(bench.AblationPartition)},
 	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
+	{"abl-overlap-grads", "ablation: bucketed gradient AllReduce overlapped with backward", wrap(bench.AblationOverlapGrads)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 	{"serving", "online serving: dynamic batching vs batch=1", wrap(bench.Serving)},
@@ -79,9 +81,13 @@ type jsonReport struct {
 	Parallel    bool             `json:"parallel"`
 	Pipeline    bool             `json:"pipeline"`
 	CacheRows   int              `json:"cache_rows"`
+	OverlapG    bool             `json:"overlap_grads"`
 	CacheHits   int64            `json:"cache_hits"`
 	CacheMisses int64            `json:"cache_misses"`
 	CacheHit    float64          `json:"cache_hit_rate"`
+	NVLinkTxGB  float64          `json:"nvlink_tx_gb"`
+	IBTxGB      float64          `json:"ib_tx_gb"`
+	CommSeconds float64          `json:"comm_seconds"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
 	StartedAt   time.Time        `json:"started_at"`
 	WallSeconds float64          `json:"wall_seconds"`
@@ -105,6 +111,7 @@ func main() {
 		parallel  = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
 		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (identical math, shorter virtual epochs)")
 		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
+		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (identical math, different virtual epochs)")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
@@ -122,7 +129,8 @@ func main() {
 	cfg := bench.Config{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
-		W: os.Stdout,
+		OverlapGrads: *overlapG,
+		W:            os.Stdout,
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(*exp, ",") {
@@ -131,6 +139,7 @@ func main() {
 	report := jsonReport{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
+		OverlapG:   *overlapG,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
 	}
 	if *cpuProf != "" {
@@ -189,6 +198,13 @@ func main() {
 		report.CacheHit = float64(hits) / float64(hits+misses)
 		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*report.CacheHit)
+	}
+	if nvlink, ib, comm := bench.CommCounters(); comm > 0 {
+		report.NVLinkTxGB = nvlink / 1e9
+		report.IBTxGB = ib / 1e9
+		report.CommSeconds = comm
+		fmt.Printf("collectives: %.3f GB NVLink, %.3f GB IB, %s stream time\n",
+			nvlink/1e9, ib/1e9, (time.Duration(comm * float64(time.Second))).Round(time.Microsecond))
 	}
 	if *jsonPath != "" {
 		report.WallSeconds = time.Since(start).Seconds()

@@ -29,7 +29,16 @@ type Var struct {
 	inputs   []*Var
 	// back propagates v.Grad into the inputs' Grad fields.
 	back func(v *Var)
+	// post hooks run right after back during replay (see OnBackward).
+	post []func()
 }
+
+// OnBackward registers fn to run immediately after this variable's backward
+// closure executes during tape replay. Hooks fire only if a gradient reached
+// the variable (mirroring how its backward work only happens then); layers
+// use this to charge backward kernel costs on the device at replay time
+// rather than at forward-record time. Hooks are discarded by Tape.Reset.
+func (v *Var) OnBackward(fn func()) { v.post = append(v.post, fn) }
 
 // NeedsGrad reports whether gradients flow to this variable.
 func (v *Var) NeedsGrad() bool { return v.needGrad }
@@ -67,6 +76,10 @@ type Tape struct {
 	owned []*tensor.Dense
 	views []*tensor.Dense
 	bufs  [][]float32
+
+	// BackwardHooked scratch, reused across calls.
+	watchMin []int
+	watchIdx map[*Var]int
 }
 
 // NewTape returns an empty tape. A fresh tape is typically created per
@@ -129,6 +142,8 @@ func (t *Tape) Reset() {
 	t.nodes = t.nodes[:0]
 	for _, v := range t.vars {
 		v.Value, v.Grad, v.inputs, v.back, v.needGrad = nil, nil, nil, nil, false
+		clear(v.post)
+		v.post = v.post[:0]
 		t.free = append(t.free, v)
 	}
 	clear(t.vars)
@@ -206,6 +221,21 @@ func (t *Tape) Op(out *tensor.Dense, inputs []*Var, back func(v *Var)) *Var {
 // Backward seeds loss.Grad with seed (same shape as loss.Value) and runs the
 // tape in reverse, accumulating gradients into all parameters.
 func (t *Tape) Backward(loss *Var, seed *tensor.Dense) {
+	t.replay(loss, seed, nil, nil)
+}
+
+// BackwardHooked runs Backward and additionally reports, for each variable
+// in watch (typically leaf parameters), the moment its gradient becomes
+// final: onReady(i) is called for watch[i] right after the lowest-indexed
+// tape node consuming it has replayed — no later node can touch its Grad.
+// Watched variables never consumed by the tape are reported after the
+// replay. The gradient-overlap trainer uses this to hand parameter buckets
+// to the collective engine while the rest of the backward pass still runs.
+func (t *Tape) BackwardHooked(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(int)) {
+	t.replay(loss, seed, watch, onReady)
+}
+
+func (t *Tape) replay(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(int)) {
 	if loss.tape != t {
 		panic("autograd: loss from a different tape")
 	}
@@ -213,14 +243,47 @@ func (t *Tape) Backward(loss *Var, seed *tensor.Dense) {
 		panic(fmt.Sprintf("autograd: seed shape %dx%d for loss %dx%d",
 			seed.R, seed.C, loss.Value.R, loss.Value.C))
 	}
+	watchMin := t.watchMin[:0]
+	if len(watch) > 0 {
+		if t.watchIdx == nil {
+			t.watchIdx = make(map[*Var]int, len(watch))
+		}
+		for wi, w := range watch {
+			watchMin = append(watchMin, -1)
+			t.watchIdx[w] = wi
+		}
+		// First (lowest-index) consumer of each watched var wins: once it
+		// has replayed, nothing before it in the reverse sweep remains.
+		for i, v := range t.nodes {
+			for _, in := range v.inputs {
+				if wi, ok := t.watchIdx[in]; ok && watchMin[wi] == -1 {
+					watchMin[wi] = i
+				}
+			}
+		}
+		clear(t.watchIdx)
+	}
 	loss.AccumGrad(seed)
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		v := t.nodes[i]
-		if v.Grad == nil || v.back == nil {
-			continue // no gradient reached this node
+		if v.Grad != nil && v.back != nil {
+			v.back(v)
+			for _, fn := range v.post {
+				fn()
+			}
 		}
-		v.back(v)
+		for wi, mi := range watchMin {
+			if mi == i {
+				onReady(wi)
+			}
+		}
 	}
+	for wi, mi := range watchMin {
+		if mi == -1 {
+			onReady(wi)
+		}
+	}
+	t.watchMin = watchMin
 }
 
 // --- Built-in operations ---

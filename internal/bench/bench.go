@@ -48,6 +48,11 @@ type Config struct {
 	// of that many highest-degree rows (see train.Options.CacheRows).
 	// Aggregate hit/miss counts are available from CacheCounters.
 	CacheRows int
+	// OverlapGrads runs every WholeGraph trainer with bucketed gradient
+	// AllReduce overlapped into the backward pass on the copy stream (see
+	// train.Options.OverlapGrads). Model math and accuracy are
+	// bit-identical; epoch times change by the hidden communication.
+	OverlapGrads bool
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -82,7 +87,7 @@ func (c Config) printf(format string, args ...any) {
 func (c Config) trainOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed,
-		Pipeline: c.Pipeline, CacheRows: c.CacheRows,
+		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -103,7 +108,7 @@ func (c Config) trainOpts(arch string) train.Options {
 func (c Config) accuracyOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed,
-		Pipeline: c.Pipeline, CacheRows: c.CacheRows,
+		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -219,6 +224,7 @@ func newTrainer(fw Framework, nodes int, ds *dataset.Dataset, opts train.Options
 	if err != nil {
 		return nil, nil, err
 	}
+	registerComm(m)
 	m.Reset() // measure training, not store setup
 	return m, tr, nil
 }

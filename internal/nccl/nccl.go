@@ -1,7 +1,10 @@
 // Package nccl provides data-carrying simulated collectives: the real
 // buffers are exchanged/reduced in host memory while the cost of the
 // corresponding NCCL operation is charged to the participating simulated
-// devices. WholeGraph itself needs only AllReduce (multi-node data-parallel
+// devices through the step-level collective engine (internal/sim), which
+// runs each ring as per-step transfers on the modeled NVLink/InfiniBand
+// links — device sets spanning nodes pay InfiniBand cost on the crossing
+// hops. WholeGraph itself needs only AllReduce (multi-node data-parallel
 // gradient sync, §III-D); AlltoAllv and AllGather exist for the
 // distributed-memory gather baseline of Figure 4/10.
 package nccl

@@ -90,3 +90,60 @@ func TestAllGather(t *testing.T) {
 		}
 	}
 }
+
+// meanTime runs AllReduceMean over nd devices with per-buffer length n and
+// returns the resulting machine time.
+func meanTime(nd, n int) float64 {
+	m := sim.NewMachine(sim.DGXA100(1))
+	bufs := make([][]float32, nd)
+	for i := range bufs {
+		bufs[i] = make([]float32, n)
+	}
+	AllReduceMean(m.NodeDevs(0)[:nd], bufs)
+	return m.MaxTime()
+}
+
+// TestAllReduceMonotonicity checks the cost model's basic shape: more bytes
+// cost more time, and for a fixed payload a larger ring (more latency-bound
+// rounds) costs more too.
+func TestAllReduceMonotonicity(t *testing.T) {
+	if small, big := meanTime(4, 1<<10), meanTime(4, 1<<20); big <= small {
+		t.Errorf("1MiB allreduce (%.3gs) not slower than 4KiB (%.3gs)", big, small)
+	}
+	if few, many := meanTime(2, 1<<12), meanTime(8, 1<<12); many <= few {
+		t.Errorf("8-GPU allreduce (%.3gs) not slower than 2-GPU (%.3gs)", many, few)
+	}
+}
+
+// TestHierarchicalMultiNodeUsesIB checks that the multi-node gradient sync
+// crosses InfiniBand: every device records IB traffic and the run is
+// slower than the identical payload on one node.
+func TestHierarchicalMultiNodeUsesIB(t *testing.T) {
+	run := func(nodes int) (float64, *sim.Machine) {
+		m := sim.NewMachine(sim.DGXA100(nodes))
+		bufs := make([][]float32, len(m.Devs))
+		for i := range bufs {
+			bufs[i] = make([]float32, 1<<16)
+		}
+		AllReduceMeanHierarchical(m, bufs)
+		return m.MaxTime(), m
+	}
+	t1, m1 := run(1)
+	t2, m2 := run(2)
+	if t2 <= t1 {
+		t.Errorf("2-node hierarchical allreduce (%.3gs) not slower than 1-node (%.3gs)", t2, t1)
+	}
+	for _, d := range m1.Devs {
+		if d.Stats.IBTxBytes != 0 {
+			t.Errorf("single-node device %d recorded IB traffic %v", d.ID, d.Stats.IBTxBytes)
+		}
+	}
+	for _, d := range m2.Devs {
+		if d.Stats.IBTxBytes <= 0 {
+			t.Errorf("multi-node device %d recorded no IB traffic", d.ID)
+		}
+		if d.Stats.CommSeconds <= 0 {
+			t.Errorf("device %d recorded no CommSeconds", d.ID)
+		}
+	}
+}

@@ -108,22 +108,45 @@ func NewLinear(s *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
 	}
 }
 
-// Apply computes x*W + b on the tape and charges the forward+backward GEMM
-// cost to dev (which may be nil for pure computation).
+// Apply computes x*W + b on the tape, charging the forward GEMM to dev now
+// and the two backward GEMMs at tape-replay time via an OnBackward hook on
+// the matmul node — so backward compute lands on the device clock exactly
+// when the gradient work happens, which is what lets gradient communication
+// overlap with it. dev may be nil for pure computation.
 func (l *Linear) Apply(dev *sim.Device, x *autograd.Var) *autograd.Var {
-	ChargeLinear(dev, x.Value.R, l.In, l.Out)
-	return autograd.AddBias(autograd.MatMul(x, l.W.Var()), l.B.Var())
+	rows := x.Value.R
+	ChargeLinearForward(dev, rows, l.In, l.Out)
+	mm := autograd.MatMul(x, l.W.Var())
+	if dev != nil {
+		mm.OnBackward(func() { ChargeLinearBackward(dev, rows, l.In, l.Out) })
+	}
+	return autograd.AddBias(mm, l.B.Var())
+}
+
+// ChargeLinearForward charges dev the forward GEMM of a Linear of the given
+// sizes. nil dev charges nothing.
+func ChargeLinearForward(dev *sim.Device, rows, in, out int) {
+	if dev == nil {
+		return
+	}
+	dev.Gemm(rows, out, in, "linear.fwd")
+}
+
+// ChargeLinearBackward charges dev the two backward GEMMs (dX and dW) of a
+// Linear of the given sizes. nil dev charges nothing.
+func ChargeLinearBackward(dev *sim.Device, rows, in, out int) {
+	if dev == nil {
+		return
+	}
+	dev.Gemm(rows, in, out, "linear.bwd.dx")
+	dev.Gemm(in, out, rows, "linear.bwd.dw")
 }
 
 // ChargeLinear charges dev for a Linear of the given sizes: one forward
 // GEMM plus the two backward GEMMs (dX and dW). nil dev charges nothing.
 func ChargeLinear(dev *sim.Device, rows, in, out int) {
-	if dev == nil {
-		return
-	}
-	dev.Gemm(rows, out, in, "linear.fwd")
-	dev.Gemm(rows, in, out, "linear.bwd.dx")
-	dev.Gemm(in, out, rows, "linear.bwd.dw")
+	ChargeLinearForward(dev, rows, in, out)
+	ChargeLinearBackward(dev, rows, in, out)
 }
 
 // ClipGradNorm rescales all gradients in s so their global L2 norm is at

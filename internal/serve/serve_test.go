@@ -210,11 +210,11 @@ func TestAdmissionControl(t *testing.T) {
 func TestDeadlineTimeouts(t *testing.T) {
 	ds := testDataset(t)
 	opts := baseOpts()
-	opts.Rate = 50000
+	opts.Rate = 200000
 	opts.Requests = 300
 	opts.MaxBatch = 2
 	opts.QueueCap = 1000 // no shedding: timeouts must do the bounding
-	opts.Deadline = 1e-3
+	opts.Deadline = 0.5e-3
 	res := run(t, ds, 1, opts)
 	if res.TimedOut == 0 {
 		t.Error("expected deadline timeouts under overload with an unbounded queue")

@@ -25,10 +25,10 @@ type chromeEvent struct {
 
 // WriteChromeTrace writes the recorded intervals of the given devices as a
 // Chrome Trace Event JSON array. Devices appear as threads of one process
-// per machine node, with a device's copy stream (when used) as a separate
-// lane next to its compute stream; idle intervals are emitted in an "idle"
-// category so the viewer can filter them. Devices without tracing enabled
-// contribute nothing.
+// per machine node: a compute lane, a copy-stream lane (when used), and a
+// comms lane holding the collective engine's transfer intervals from either
+// stream. Idle intervals are emitted in an "idle" category so the viewer
+// can filter them. Devices without tracing enabled contribute nothing.
 func WriteChromeTrace(w io.Writer, devs []*Device) error {
 	var events []chromeEvent
 	for _, d := range devs {
@@ -41,10 +41,14 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 					name = "idle"
 				}
 			}
-			tid := 2 * d.Local
+			tid := 3 * d.Local
 			if iv.Stream == StreamCopy {
 				cat += ".copy"
 				tid++
+			}
+			if iv.Comm {
+				cat = "comm"
+				tid = 3*d.Local + 2
 			}
 			events = append(events, chromeEvent{
 				Name: name,

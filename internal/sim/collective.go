@@ -1,0 +1,299 @@
+package sim
+
+// Step-level collective engine.
+//
+// The analytic entry points in link.go used to charge one closed-form busy
+// block behind a Barrier. This engine instead decomposes each ring
+// collective into its per-step transfers: in every round each device
+// forwards one chunk to its ring successor, a hop starts once sender and
+// receiver have finished the previous round and the sender's egress link
+// is free, and the hop occupies that link for its duration. Links are
+// modeled per fabric: a device's NVLink egress port for intra-node hops,
+// the node's aggregate InfiniBand NIC for inter-node hops — so a ring over
+// devices that span nodes pays IB cost on the crossing hops (the analytic
+// code silently charged NVLink), and two collectives in flight at once
+// serialize on any link they share.
+//
+// Collectives can be issued on either stream (CollOpts.Stream) with
+// per-device earliest-start gates (CollOpts.StartAt), and the returned
+// Collective carries per-device completion events, so a caller can overlap
+// a collective with independent work and join later with WaitEvent — the
+// mechanism behind train.Options.OverlapGrads. Like Barrier, every entry
+// point here reads and advances multiple device clocks and the machine's
+// link table, so it must run from the orchestrating goroutine, never from
+// inside a RunParallel region.
+
+// CollOpts configures a step-level collective launch. The zero value means
+// compute stream, no start gates, default trace tag.
+type CollOpts struct {
+	// Stream is the per-device timeline the transfer steps charge on.
+	Stream StreamKind
+	// StartAt, when non-nil, gates each device's participation: device i
+	// joins the ring no earlier than StartAt[i] (e.g. when its gradient
+	// bucket became ready), even if its stream clock is behind.
+	StartAt []float64
+	// Tag labels the busy intervals in traces ("" picks a default).
+	Tag string
+}
+
+// Collective is the handle of an issued collective: per-device completion
+// events (aligned with Devs) plus their maximum. The issuing stream is
+// recorded so Wait can join on the right timeline.
+type Collective struct {
+	Devs   []*Device
+	Stream StreamKind
+	Done   []Event
+	End    float64
+}
+
+// Wait blocks every participating device's issuing stream until the whole
+// collective completed (all devices reach End), the blocking semantics of
+// the analytic-era entry points.
+func (c *Collective) Wait() {
+	for _, d := range c.Devs {
+		prev := d.SetStream(c.Stream)
+		d.IdleUntil(c.End)
+		d.SetStream(prev)
+	}
+}
+
+// StartRingAllGather issues a ring AllGather where each device contributes
+// bytes: n-1 rounds each forwarding a full contribution.
+func StartRingAllGather(devs []*Device, bytes float64, o CollOpts) *Collective {
+	m := devs[0].m
+	ready := m.collReady[:len(devs)]
+	initReady(devs, ready, o.Stream, o.StartAt)
+	ringSteps(devs, ready, len(devs)-1, bytes, o.Stream, tagOr(o.Tag, "allgather"))
+	return newCollective(devs, o.Stream, ready)
+}
+
+// StartRingAllReduce issues a ring AllReduce of a bytes-sized buffer:
+// reduce-scatter plus allgather, 2(n-1) rounds of bytes/n chunks.
+func StartRingAllReduce(devs []*Device, bytes float64, o CollOpts) *Collective {
+	m := devs[0].m
+	ready := m.collReady[:len(devs)]
+	initReady(devs, ready, o.Stream, o.StartAt)
+	ringSteps(devs, ready, 2*(len(devs)-1), bytes/float64(len(devs)), o.Stream, tagOr(o.Tag, "allreduce"))
+	return newCollective(devs, o.Stream, ready)
+}
+
+// StartHierarchicalAllReduce issues a gradient AllReduce across the whole
+// machine: per-node ring reduce-scatter over NVLink, an inter-node ring
+// over InfiniBand on the node shards, and a per-node ring allgather.
+// StartAt, when given, must cover m.Devs.
+func StartHierarchicalAllReduce(m *Machine, bytes float64, o CollOpts) *Collective {
+	ready := m.collReady[:len(m.Devs)]
+	initReady(m.Devs, ready, o.Stream, o.StartAt)
+	hierarchicalSteps(m, bytes, o.Stream, tagOr(o.Tag, "allreduce"), ready)
+	return newCollective(m.Devs, o.Stream, ready)
+}
+
+// initReady seeds the per-device ready times from the stream clocks and the
+// optional StartAt gates.
+func initReady(devs []*Device, ready []float64, k StreamKind, startAt []float64) {
+	for i, d := range devs {
+		t := d.StreamNow(k)
+		if startAt != nil && startAt[i] > t {
+			t = startAt[i]
+		}
+		ready[i] = t
+	}
+}
+
+func tagOr(tag, def string) string {
+	if tag == "" {
+		return def
+	}
+	return tag
+}
+
+// newCollective snapshots the ready times into a fresh handle.
+func newCollective(devs []*Device, k StreamKind, ready []float64) *Collective {
+	c := &Collective{Devs: devs, Stream: k, Done: make([]Event, len(devs))}
+	for i, t := range ready {
+		c.Done[i] = Event{T: t}
+		if t > c.End {
+			c.End = t
+		}
+	}
+	return c
+}
+
+// ringSteps advances the devices through rounds ring steps in which every
+// device sends one chunk to its ring successor. ready carries per-device
+// completion times in and out (exact values, independent of the charged
+// interval rounding). A hop from devs[i] to devs[i+1] starts at
+// max(ready[i], ready[i+1], linkFree) — the receiver must have finished its
+// previous round, and concurrent collectives serialize on shared links —
+// and the sender's egress link (NVLink port intra-node, the node NIC
+// across nodes) stays busy until the hop ends. Scratch lives on the
+// machine, keeping steady-state training allocation-free.
+func ringSteps(devs []*Device, ready []float64, rounds int, chunk float64, k StreamKind, tag string) {
+	n := len(devs)
+	if n < 2 {
+		return
+	}
+	m := devs[0].m
+	sendStart := m.collSendStart[:n]
+	sendEnd := m.collSendEnd[:n]
+	for r := 0; r < rounds; r++ {
+		for i, src := range devs {
+			j := i + 1
+			if j == n {
+				j = 0
+			}
+			dst := devs[j]
+			start := ready[i]
+			if ready[j] > start {
+				start = ready[j]
+			}
+			var hop float64
+			var free *float64
+			if src.Node != dst.Node {
+				hop = ibTime(m, chunk)
+				free = &m.ibFree[src.Node]
+				src.Stats.IBTxBytes += chunk
+			} else {
+				hop = nvlinkP2PTime(m, chunk)
+				free = &m.nvlinkFree[src.ID]
+				src.Stats.NVLinkTxBytes += chunk
+			}
+			if *free > start {
+				start = *free
+			}
+			sendStart[i] = start
+			sendEnd[i] = start + hop
+			*free = sendEnd[i]
+		}
+		for i, d := range devs {
+			p := i - 1
+			if p < 0 {
+				p = n - 1
+			}
+			s := sendStart[i]
+			if sendStart[p] < s {
+				s = sendStart[p]
+			}
+			e := sendEnd[i]
+			if sendEnd[p] > e {
+				e = sendEnd[p]
+			}
+			chargeComm(d, k, s, e, tag)
+			ready[i] = e
+		}
+	}
+}
+
+// hierarchicalSteps runs the three-phase hierarchical AllReduce on the
+// ready array. With one node it degenerates to the exact step sequence of
+// a single intra-node ring AllReduce (2(g-1) rounds of bytes/g), which is
+// what makes HierarchicalAllReduce and AllReduceBytes bit-identical there.
+func hierarchicalSteps(m *Machine, bytes float64, k StreamKind, tag string, ready []float64) {
+	g := m.Cfg.GPUsPerNode
+	nodes := m.Cfg.Nodes
+	if nodes == 1 {
+		ringSteps(m.Devs, ready, 2*(g-1), bytes/float64(g), k, tag)
+		return
+	}
+	// Phase 1: intra-node ring reduce-scatter, independent per node.
+	if g > 1 {
+		for n := 0; n < nodes; n++ {
+			ringSteps(m.NodeDevs(n), ready[n*g:(n+1)*g], g-1, bytes/float64(g), k, tag)
+		}
+	}
+	// Phase 2: inter-node ring AllReduce over the per-node shards
+	// (bytes/g), 2(nodes-1) rounds of bytes/(g*nodes) chunks. Each node's
+	// GPUs drive their NIC shares in parallel, so the chunk moves at the
+	// node's full aggregate IB bandwidth (the analytic model's assumption,
+	// kept); the node NIC is the contended link.
+	chunk := bytes / float64(g*nodes)
+	nodeReady := m.nodeReady[:nodes]
+	for n := 0; n < nodes; n++ {
+		t := ready[n*g]
+		for i := n*g + 1; i < (n+1)*g; i++ {
+			if ready[i] > t {
+				t = ready[i]
+			}
+		}
+		nodeReady[n] = t
+	}
+	ss := m.nodeSendStart[:nodes]
+	se := m.nodeSendEnd[:nodes]
+	perDev := chunk / float64(g)
+	for r := 0; r < 2*(nodes-1); r++ {
+		for n := 0; n < nodes; n++ {
+			next := n + 1
+			if next == nodes {
+				next = 0
+			}
+			start := nodeReady[n]
+			if nodeReady[next] > start {
+				start = nodeReady[next]
+			}
+			if m.ibFree[n] > start {
+				start = m.ibFree[n]
+			}
+			ss[n] = start
+			se[n] = start + ibTime(m, chunk)
+			m.ibFree[n] = se[n]
+		}
+		for n := 0; n < nodes; n++ {
+			p := n - 1
+			if p < 0 {
+				p = nodes - 1
+			}
+			s := ss[n]
+			if ss[p] < s {
+				s = ss[p]
+			}
+			e := se[n]
+			if se[p] > e {
+				e = se[p]
+			}
+			for i := n * g; i < (n+1)*g; i++ {
+				m.Devs[i].Stats.IBTxBytes += perDev
+				chargeComm(m.Devs[i], k, s, e, tag)
+				ready[i] = e
+			}
+			nodeReady[n] = e
+		}
+	}
+	// Phase 3: intra-node ring allgather of the reduced shards.
+	if g > 1 {
+		for n := 0; n < nodes; n++ {
+			ringSteps(m.NodeDevs(n), ready[n*g:(n+1)*g], g-1, bytes/float64(g), k, tag)
+		}
+	}
+}
+
+// chargeComm records the device's share of one round, [s, e), on stream k:
+// the gap from the stream clock to s (waiting on peers, a busy link, or a
+// StartAt gate) is idle, the rest is communication busy time.
+func chargeComm(d *Device, k StreamKind, s, e float64, tag string) {
+	prev := d.SetStream(k)
+	if now := d.Now(); s > now {
+		d.idle(s-now, "comm-wait")
+	}
+	if now := d.Now(); e > now {
+		d.commBusy(e-now, tag)
+	}
+	d.SetStream(prev)
+}
+
+// joinCompute idles every device's compute stream to the collective's end
+// and returns it: the blocking, barrier-like semantics the analytic entry
+// points always had.
+func joinCompute(devs []*Device, ready []float64) float64 {
+	end := 0.0
+	for _, t := range ready {
+		if t > end {
+			end = t
+		}
+	}
+	for _, d := range devs {
+		prev := d.SetStream(StreamCompute)
+		d.IdleUntil(end)
+		d.SetStream(prev)
+	}
+	return end
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// analytic hop times for cross-checking the step totals.
+func nvHop(m *Machine, b float64) float64 { return nvlinkP2PTime(m, b) }
+func ibHop(m *Machine, b float64) float64 { return ibTime(m, b) }
+
+// TestRingTotalsMatchAnalytic pins the step-level engine to the classic
+// closed forms on a synchronized single-node ring: AllGather costs
+// (n-1)·hop(bytes) and AllReduce 2(n-1)·hop(bytes/n), to float tolerance.
+func TestRingTotalsMatchAnalytic(t *testing.T) {
+	const bytes = 64e6
+	for _, n := range []int{2, 4, 8} {
+		m := NewMachine(DGXA100(1))
+		devs := m.NodeDevs(0)[:n]
+		got := AllGatherBytes(devs, bytes)
+		want := float64(n-1) * nvHop(m, bytes)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("n=%d allgather = %v, analytic %v", n, got, want)
+		}
+
+		m2 := NewMachine(DGXA100(1))
+		devs2 := m2.NodeDevs(0)[:n]
+		got2 := AllReduceBytes(devs2, bytes)
+		want2 := 2 * float64(n-1) * nvHop(m2, bytes/float64(n))
+		if math.Abs(got2-want2) > 1e-12*want2 {
+			t.Errorf("n=%d allreduce = %v, analytic %v", n, got2, want2)
+		}
+	}
+}
+
+// TestHierarchicalTotalMatchesAnalytic pins the three-phase multi-node
+// AllReduce to its closed form on synchronized clocks: two intra-node rings
+// of (g-1)·nv(bytes/g) plus an inter-node ring of 2(nodes-1)·ib(bytes/(g·nodes)).
+func TestHierarchicalTotalMatchesAnalytic(t *testing.T) {
+	const bytes = 64e6
+	for _, nodes := range []int{2, 4} {
+		m := NewMachine(DGXA100(nodes))
+		g := float64(m.Cfg.GPUsPerNode)
+		got := HierarchicalAllReduce(m, bytes)
+		want := 2*(g-1)*nvHop(m, bytes/g) +
+			2*float64(nodes-1)*ibHop(m, bytes/(g*float64(nodes)))
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("nodes=%d hierarchical = %v, analytic %v", nodes, got, want)
+		}
+	}
+}
+
+// TestHierarchicalSingleNodeBitIdentical: with one node the hierarchical
+// AllReduce must run the exact step sequence of the flat ring AllReduce —
+// equal completion time bit-for-bit, not just within tolerance.
+func TestHierarchicalSingleNodeBitIdentical(t *testing.T) {
+	for _, bytes := range []float64{4096, 1e6, 123456789} {
+		m1 := NewMachine(DGXA100(1))
+		flat := AllReduceBytes(m1.Devs, bytes)
+		m2 := NewMachine(DGXA100(1))
+		hier := HierarchicalAllReduce(m2, bytes)
+		if flat != hier {
+			t.Errorf("bytes=%v: flat ring %v != hierarchical %v", bytes, flat, hier)
+		}
+	}
+}
+
+// TestCrossNodeRingUsesIB is the regression for the pre-engine bug where
+// AllGatherBytes priced every hop as NVLink even when the device set
+// spanned nodes: a ring across two nodes must pay InfiniBand on the
+// crossing hops — far slower than the same ring within one node — and the
+// boundary devices must record IB egress.
+func TestCrossNodeRingUsesIB(t *testing.T) {
+	const bytes = 16e6
+	m := NewMachine(DGXA100(2))
+	cross := []*Device{m.Devs[6], m.Devs[7], m.Devs[8], m.Devs[9]} // two per node
+	crossTime := AllGatherBytes(cross, bytes)
+
+	m2 := NewMachine(DGXA100(1))
+	intra := m2.NodeDevs(0)[:4]
+	intraTime := AllGatherBytes(intra, bytes)
+
+	if crossTime <= intraTime {
+		t.Errorf("cross-node allgather (%v) not slower than intra-node (%v)", crossTime, intraTime)
+	}
+	// Ring order 6→7→8→9→6: hops 7→8 and 9→6 cross nodes.
+	if m.Devs[7].Stats.IBTxBytes == 0 || m.Devs[9].Stats.IBTxBytes == 0 {
+		t.Error("node-boundary senders recorded no IB traffic")
+	}
+	if m.Devs[6].Stats.NVLinkTxBytes == 0 {
+		t.Error("intra-node sender recorded no NVLink traffic")
+	}
+	// Same check for AllReduce, which had the identical bug.
+	m3 := NewMachine(DGXA100(2))
+	cross3 := []*Device{m3.Devs[0], m3.Devs[8]}
+	AllReduceBytes(cross3, bytes)
+	if m3.Devs[0].Stats.IBTxBytes == 0 || m3.Devs[8].Stats.IBTxBytes == 0 {
+		t.Error("2-device cross-node allreduce recorded no IB traffic")
+	}
+}
+
+// TestCollectiveOnCopyStream checks stream selection: a collective issued on
+// the copy stream advances only copy clocks; the compute stream joins later
+// via the returned events, so independent compute can hide the transfer.
+func TestCollectiveOnCopyStream(t *testing.T) {
+	m := NewMachine(DGXA100(1))
+	devs := m.Devs
+	c := StartRingAllReduce(devs, 1e6, CollOpts{Stream: StreamCopy, Tag: "grads"})
+	for _, d := range devs {
+		if d.StreamNow(StreamCompute) != 0 {
+			t.Fatalf("device %d compute clock moved to %v during copy-stream collective", d.ID, d.StreamNow(StreamCompute))
+		}
+		if d.StreamNow(StreamCopy) <= 0 {
+			t.Fatalf("device %d copy clock did not advance", d.ID)
+		}
+	}
+	// Overlapping compute shorter than the transfer: the join should land
+	// at the collective's end, not after it.
+	kern := devs[0].Kernel(KernelCost{FLOPs: 1e6, Tag: "work"})
+	if kern >= c.End {
+		t.Fatalf("test premise broken: kernel %v not shorter than collective %v", kern, c.End)
+	}
+	devs[0].WaitEvent(c.Done[0], "grad-sync")
+	if got := devs[0].StreamNow(StreamCompute); got != c.Done[0].T {
+		t.Errorf("compute joined at %v, want %v", got, c.Done[0].T)
+	}
+}
+
+// TestLinkContentionSerializes checks the busy-until link model: two
+// collectives issued back-to-back share every NVLink egress port, so the
+// second must start after the first's transfers release the links rather
+// than running at time zero in parallel.
+func TestLinkContentionSerializes(t *testing.T) {
+	const bytes = 8e6
+	m := NewMachine(DGXA100(1))
+	solo := StartRingAllReduce(m.Devs, bytes, CollOpts{Stream: StreamCopy})
+
+	m2 := NewMachine(DGXA100(1))
+	first := StartRingAllReduce(m2.Devs, bytes, CollOpts{Stream: StreamCopy})
+	second := StartRingAllReduce(m2.Devs, bytes, CollOpts{Stream: StreamCopy})
+	if first.End != solo.End {
+		t.Errorf("first collective end %v, want %v", first.End, solo.End)
+	}
+	if second.End < 2*solo.End*(1-1e-12) {
+		t.Errorf("second collective ended at %v; links not serialized (solo takes %v)", second.End, solo.End)
+	}
+}
+
+// TestStartAtGates checks per-device start gating: a collective whose
+// devices become ready at staggered times cannot finish before the last
+// gate plus the transfer work that must follow it.
+func TestStartAtGates(t *testing.T) {
+	const bytes = 1e6
+	m := NewMachine(DGXA100(1))
+	base := StartRingAllReduce(m.Devs, bytes, CollOpts{Stream: StreamCopy})
+
+	m2 := NewMachine(DGXA100(1))
+	gate := make([]float64, len(m2.Devs))
+	const last = 5e-3
+	for i := range gate {
+		gate[i] = last * float64(i) / float64(len(gate)-1)
+	}
+	gated := StartRingAllReduce(m2.Devs, bytes, CollOpts{Stream: StreamCopy, StartAt: gate})
+	if gated.End <= last {
+		t.Errorf("gated collective ended at %v, before the last gate %v", gated.End, last)
+	}
+	// The ring couples every device within a round, so the run effectively
+	// restarts at the last gate — but gates must only delay, never add work.
+	if limit := (last + base.End) * (1 + 1e-12); gated.End > limit {
+		t.Errorf("gated collective ended at %v, beyond gate+solo time %v", gated.End, last+base.End)
+	}
+	for i, ev := range gated.Done {
+		if ev.T < gate[i] {
+			t.Errorf("device %d done at %v before its gate %v", i, ev.T, gate[i])
+		}
+	}
+}
+
+// TestCommTraceAndStats checks the observability satellite: collective
+// intervals carry the Comm flag, accrue CommSeconds, and surface in the
+// Chrome trace as a "comm" category on the dedicated per-device lane.
+func TestCommTraceAndStats(t *testing.T) {
+	m := NewMachine(DGXA100(1))
+	for _, d := range m.Devs {
+		d.Tracing = true
+	}
+	AllReduceBytes(m.Devs, 1e6)
+	d0 := m.Devs[0]
+	if d0.Stats.CommSeconds <= 0 {
+		t.Fatal("no CommSeconds accrued")
+	}
+	sawComm := false
+	for _, iv := range d0.Trace() {
+		if iv.Comm {
+			sawComm = true
+			if !iv.Busy {
+				t.Error("comm interval not marked busy")
+			}
+		}
+	}
+	if !sawComm {
+		t.Fatal("no Comm-flagged interval in trace")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, m.Devs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"cat":"comm"`) {
+		t.Error("chrome trace has no comm category")
+	}
+	if !strings.Contains(out, `"tid":2`) {
+		t.Error("chrome trace has no comms lane (tid 3*local+2)")
+	}
+}
+
+// TestResetClearsLinkState: after Machine.Reset a collective must cost the
+// same as on a fresh machine — leftover link busy-until times would skew
+// the next run.
+func TestResetClearsLinkState(t *testing.T) {
+	const bytes = 4e6
+	m := NewMachine(DGXA100(2))
+	HierarchicalAllReduce(m, bytes)
+	m.Reset()
+	after := HierarchicalAllReduce(m, bytes)
+	fresh := NewMachine(DGXA100(2))
+	want := HierarchicalAllReduce(fresh, bytes)
+	if after != want {
+		t.Errorf("post-Reset collective %v, fresh machine %v", after, want)
+	}
+}
+
+// TestBlockingWrappersSynchronize: the engine-backed blocking entry points
+// must retain barrier semantics — all compute clocks equal at the returned
+// time.
+func TestBlockingWrappersSynchronize(t *testing.T) {
+	m := NewMachine(DGXA100(1))
+	m.Devs[3].Kernel(KernelCost{FLOPs: 1e9, Tag: "skew"})
+	end := AllGatherBytes(m.Devs, 2e6)
+	for _, d := range m.Devs {
+		if d.StreamNow(StreamCompute) != end {
+			t.Errorf("device %d at %v after blocking allgather, want %v", d.ID, d.StreamNow(StreamCompute), end)
+		}
+	}
+}

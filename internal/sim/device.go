@@ -18,6 +18,13 @@ type DeviceStats struct {
 	IdleSeconds     float64
 	CopyBusySeconds float64
 	CopyIdleSeconds float64
+	// Per-link traffic of the collective engine: bytes this device sent
+	// over its NVLink egress port and its share of the node's InfiniBand
+	// NIC, plus the total time its streams spent inside collectives
+	// (commBusy intervals on either stream).
+	NVLinkTxBytes float64
+	IBTxBytes     float64
+	CommSeconds   float64
 }
 
 // Device is one simulated GPU with two virtual timelines: a compute
@@ -77,6 +84,26 @@ func (d *Device) busy(dt float64, tag string) {
 	} else {
 		d.Stats.BusySeconds += dt
 	}
+}
+
+// commBusy advances the current stream by dt seconds of communication busy
+// time: like busy, but the interval is flagged as a collective transfer
+// (its own Chrome-trace lane) and accrues to Stats.CommSeconds.
+func (d *Device) commBusy(dt float64, tag string) {
+	if dt <= 0 {
+		return
+	}
+	clk := d.clock()
+	if d.Tracing {
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Comm: true, Tag: tag, Stream: d.stream})
+	}
+	*clk += dt
+	if d.stream == StreamCopy {
+		d.Stats.CopyBusySeconds += dt
+	} else {
+		d.Stats.BusySeconds += dt
+	}
+	d.Stats.CommSeconds += dt
 }
 
 // idle advances the current stream by dt seconds of idle (waiting) time.

@@ -1,9 +1,16 @@
 package sim
 
-// Collective timing helpers. WholeGraph's distributed-memory baseline and
-// its multi-node data parallelism use NCCL collectives; these functions
-// charge their analytic cost models to the participating device clocks.
-// Formulas are the standard ring-algorithm costs used by NCCL.
+// Collective timing entry points. WholeGraph's distributed-memory baseline
+// and its multi-node data parallelism use NCCL collectives; the blocking
+// functions here keep the signatures of the original analytic cost models
+// but are thin wrappers over the step-level engine in collective.go: each
+// collective runs its per-step ring transfers on the compute stream
+// (occupying the modeled links) and then joins every participant at the
+// completion time. For one synchronized single-node ring the step totals
+// equal the classic closed forms — AllGather (n-1)·hop(bytes), AllReduce
+// 2(n-1)·hop(bytes/n) — while device sets that span nodes now pay the
+// InfiniBand cost on the crossing hops instead of being silently priced as
+// NVLink.
 
 // nvlinkP2PTime is the time to move bytes between two GPUs of one node over
 // NVLink as one bulk message.
@@ -18,83 +25,89 @@ func ibTime(m *Machine, bytes float64) float64 {
 	return l.IBLatency + bytes/(l.IBGBs*1e9*0.9)
 }
 
-// AllGatherBytes charges an AllGather where each device contributes bytes.
-// Ring algorithm: (n-1) steps each moving `bytes`.
+// AllGatherBytes charges a blocking AllGather where each device contributes
+// bytes (ring algorithm: n-1 steps each moving `bytes`) and returns the
+// completion time.
 func AllGatherBytes(devs []*Device, bytes float64) float64 {
 	if len(devs) < 2 {
 		return 0
 	}
-	start := Barrier(devs)
 	m := devs[0].m
-	n := float64(len(devs))
-	dt := (n - 1) * nvlinkP2PTime(m, bytes)
-	for _, d := range devs {
-		d.busy(dt, "allgather")
-	}
-	return start + dt
+	ready := m.collReady[:len(devs)]
+	initReady(devs, ready, StreamCompute, nil)
+	ringSteps(devs, ready, len(devs)-1, bytes, StreamCompute, "allgather")
+	return joinCompute(devs, ready)
 }
 
-// AllReduceBytes charges a ring AllReduce of a buffer of the given size over
-// the devices of one node: 2(n-1)/n * bytes cross each link.
+// AllReduceBytes charges a blocking ring AllReduce of a buffer of the given
+// size over the devices: 2(n-1) steps of bytes/n chunks, so 2(n-1)/n times
+// the buffer crosses each link.
 func AllReduceBytes(devs []*Device, bytes float64) float64 {
 	if len(devs) < 2 {
 		return 0
 	}
-	start := Barrier(devs)
 	m := devs[0].m
-	n := float64(len(devs))
-	steps := 2 * (n - 1)
-	dt := steps * nvlinkP2PTime(m, bytes/n)
-	for _, d := range devs {
-		d.busy(dt, "allreduce")
-	}
-	return start + dt
+	ready := m.collReady[:len(devs)]
+	initReady(devs, ready, StreamCompute, nil)
+	ringSteps(devs, ready, 2*(len(devs)-1), bytes/float64(len(devs)), StreamCompute, "allreduce")
+	return joinCompute(devs, ready)
 }
 
-// HierarchicalAllReduce charges a gradient AllReduce across a multi-node
-// machine: intra-node ring reduce-scatter/allgather over NVLink plus an
-// inter-node ring over InfiniBand on the per-node shards.
+// HierarchicalAllReduce charges a blocking gradient AllReduce across a
+// multi-node machine: intra-node ring reduce-scatter/allgather over NVLink
+// plus an inter-node ring over InfiniBand on the per-node shards. With one
+// node it runs the identical step sequence as AllReduceBytes over the
+// node's devices.
 func HierarchicalAllReduce(m *Machine, bytes float64) float64 {
-	devs := m.Devs
-	start := Barrier(devs)
-	g := float64(m.Cfg.GPUsPerNode)
-	nodes := float64(m.Cfg.Nodes)
-	// Intra-node reduce-scatter + allgather.
-	intra := 2 * (g - 1) * nvlinkP2PTime(m, bytes/g)
-	dt := intra
-	if nodes > 1 {
-		// Inter-node ring allreduce on the node shard (bytes/g per GPU,
-		// one GPU per node drives each NIC pair; the shard is split over
-		// the node's NICs so the full IB bandwidth applies).
-		inter := 2 * (nodes - 1) * ibTime(m, bytes/(g*nodes))
-		dt += inter
+	if len(m.Devs) < 2 {
+		return 0
 	}
-	for _, d := range devs {
-		d.busy(dt, "allreduce")
-	}
-	return start + dt
+	ready := m.collReady[:len(m.Devs)]
+	initReady(m.Devs, ready, StreamCompute, nil)
+	hierarchicalSteps(m, bytes, StreamCompute, "allreduce", ready)
+	return joinCompute(m.Devs, ready)
 }
 
-// SendRecv charges a point-to-point NCCL send/recv between two devices of
-// one node and returns the completion time. Both clocks advance together.
+// SendRecv charges a point-to-point NCCL send/recv between two devices and
+// returns the completion time: the single-hop primitive of the collective
+// engine. The hop starts when both clocks and the sender's egress link are
+// free; it moves at NVLink rate within a node and over InfiniBand across
+// nodes. Both compute-stream clocks advance together.
 func SendRecv(src, dst *Device, bytes float64) float64 {
-	t := src.now
-	if dst.now > t {
-		t = dst.now
+	m := src.m
+	start := src.now
+	if dst.now > start {
+		start = dst.now
 	}
-	src.IdleUntil(t)
-	dst.IdleUntil(t)
-	dt := nvlinkP2PTime(src.m, bytes)
-	src.busy(dt, "send")
-	dst.busy(dt, "recv")
-	return t + dt
+	var hop float64
+	var free *float64
+	if src.Node != dst.Node {
+		hop = ibTime(m, bytes)
+		free = &m.ibFree[src.Node]
+		src.Stats.IBTxBytes += bytes
+	} else {
+		hop = nvlinkP2PTime(m, bytes)
+		free = &m.nvlinkFree[src.ID]
+		src.Stats.NVLinkTxBytes += bytes
+	}
+	if *free > start {
+		start = *free
+	}
+	end := start + hop
+	*free = end
+	chargeComm(src, StreamCompute, start, end, "send")
+	chargeComm(dst, StreamCompute, start, end, "recv")
+	return end
 }
 
 // AlltoAllvBytes charges an AlltoAllv over the devices where sendBytes[i][j]
 // is the payload device i sends to device j. NCCL implements this as
 // pairwise exchanges; with NVSwitch every device's egress port is the
 // bottleneck, so the cost per device is its max of egress and ingress
-// volume at NVLink rate, plus per-peer latencies.
+// volume at NVLink rate, plus per-peer latencies. This stays a bulk
+// (non-step-level) model charged behind a barrier: the gather baselines
+// that use it overlap nothing with it. Egress volume is counted in the
+// sender's NVLinkTxBytes.
 func AlltoAllvBytes(devs []*Device, sendBytes [][]float64) float64 {
 	n := len(devs)
 	if n < 2 {
@@ -118,7 +131,8 @@ func AlltoAllvBytes(devs []*Device, sendBytes [][]float64) float64 {
 			vol = ingress
 		}
 		dt := float64(n-1)*l.P2PBaseLatency + vol/(l.NVLinkUniGBs*1e9*0.9)
-		d.busy(dt, "alltoallv")
+		d.commBusy(dt, "alltoallv")
+		d.Stats.NVLinkTxBytes += egress
 		if d.now > end {
 			end = d.now
 		}

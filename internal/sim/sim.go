@@ -186,6 +186,18 @@ type Machine struct {
 	Cfg  MachineConfig
 	Devs []*Device // all devices, node-major
 	CPUs []*CPU    // one per node
+
+	// Collective-engine link state: busy-until times (virtual seconds) of
+	// each device's NVLink egress port and each node's aggregate IB NIC.
+	// Touched only by the collective entry points, which — like Barrier —
+	// run on the orchestrating goroutine.
+	nvlinkFree []float64
+	ibFree     []float64
+	// Scratch reused across collective calls (per-device ready and
+	// send-interval times, and their per-node counterparts), so the
+	// steady-state training loop stays allocation-free.
+	collReady, collSendStart, collSendEnd []float64
+	nodeReady, nodeSendStart, nodeSendEnd []float64
 }
 
 // NewMachine builds a Machine from cfg. It panics on invalid configuration;
@@ -203,6 +215,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 			})
 		}
 	}
+	nd := len(m.Devs)
+	m.nvlinkFree = make([]float64, nd)
+	m.ibFree = make([]float64, cfg.Nodes)
+	m.collReady = make([]float64, nd)
+	m.collSendStart = make([]float64, nd)
+	m.collSendEnd = make([]float64, nd)
+	m.nodeReady = make([]float64, cfg.Nodes)
+	m.nodeSendStart = make([]float64, cfg.Nodes)
+	m.nodeSendEnd = make([]float64, cfg.Nodes)
 	return m
 }
 
@@ -240,6 +261,8 @@ func (m *Machine) Reset() {
 	for _, c := range m.CPUs {
 		c.now = 0
 	}
+	clear(m.nvlinkFree)
+	clear(m.ibFree)
 }
 
 // MaxTime returns the largest clock in the machine, across both device

@@ -7,8 +7,11 @@ package sim
 type Interval struct {
 	Start, End float64
 	Busy       bool
-	Tag        string
-	Stream     StreamKind
+	// Comm marks a collective-engine transfer (NVLink/IB occupancy rather
+	// than SM work); the Chrome trace gives these their own lane.
+	Comm   bool
+	Tag    string
+	Stream StreamKind
 }
 
 // FilterStream returns the intervals of one stream, preserving order.

@@ -1,0 +1,172 @@
+package train
+
+import (
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/sim"
+)
+
+// Gradient-communication overlap (Options.OverlapGrads): instead of one
+// blocking AllReduce over the whole gradient vector after backward, the
+// model's parameters are grouped into per-layer buckets (DDP-style, by name
+// prefix) and each bucket's hierarchical AllReduce is issued on the copy
+// stream as soon as every worker's backward pass has finalized that
+// bucket's gradients — the tape reports readiness through BackwardHooked.
+// Communication for layer l+1 then rides under the backward compute of
+// layer l, and the optimizer only waits for each device's own last bucket.
+// The averaging math per bucket is byte-for-byte the code averageGradients
+// runs per parameter, in the same worker order, so losses, gradients and
+// model state are bit-identical to the blocking path; only virtual time
+// improves.
+
+// overlapState is the lazily-built per-trainer bucket machinery.
+type overlapState struct {
+	buckets     [][]int   // bucket -> parameter indices (contiguous runs)
+	paramBucket []int     // parameter index -> bucket
+	bucketBytes []float64 // gradient payload per bucket (4 bytes/element)
+
+	// Per real worker, reused every iteration.
+	watch    [][]*autograd.Var // parameter Vars on the current tape
+	left     [][]int           // per bucket: parameters not yet final
+	readyAt  [][]float64       // per bucket: compute-stream readiness time
+	readyFns []func(int)       // BackwardHooked callback, one per worker
+
+	// Orchestrator scratch.
+	devWorker []int // device index -> real-worker index, -1 for mirrors
+	maxReady  []float64
+	order     []int
+	startAt   []float64
+	lastDone  []float64 // per device: its completion time of its last bucket
+}
+
+// bucketKey groups parameters by the prefix up to the second dot of their
+// registered name: "sage.1.W" and "sage.1.B" share bucket "sage.1", matching
+// how DDP buckets consecutive parameters of one layer.
+func bucketKey(name string) string {
+	dots := 0
+	for i, c := range name {
+		if c == '.' {
+			dots++
+			if dots == 2 {
+				return name[:i]
+			}
+		}
+	}
+	return name
+}
+
+// ensureOverlap builds the bucket layout and per-worker scratch on first use.
+func (t *Trainer) ensureOverlap() {
+	if t.ov != nil {
+		return
+	}
+	t.ensureAvgState()
+	s := &overlapState{}
+	params := t.Models[0].Params().Params()
+	s.paramBucket = make([]int, len(params))
+	prevKey := ""
+	for pi, p := range params {
+		key := bucketKey(p.Name)
+		if pi == 0 || key != prevKey {
+			s.buckets = append(s.buckets, nil)
+			s.bucketBytes = append(s.bucketBytes, 0)
+			prevKey = key
+		}
+		b := len(s.buckets) - 1
+		s.buckets[b] = append(s.buckets[b], pi)
+		s.bucketBytes[b] += float64(4 * len(p.W.V))
+		s.paramBucket[pi] = b
+	}
+	nw, nb := len(t.Models), len(s.buckets)
+	s.watch = make([][]*autograd.Var, nw)
+	s.left = make([][]int, nw)
+	s.readyAt = make([][]float64, nw)
+	s.readyFns = make([]func(int), nw)
+	for w := 0; w < nw; w++ {
+		s.watch[w] = make([]*autograd.Var, 0, len(params))
+		s.left[w] = make([]int, nb)
+		s.readyAt[w] = make([]float64, nb)
+		w := w
+		dev := t.loaders[w].Device()
+		s.readyFns[w] = func(pi int) {
+			b := s.paramBucket[pi]
+			s.left[w][b]--
+			if s.left[w][b] == 0 {
+				s.readyAt[w][b] = dev.StreamNow(sim.StreamCompute)
+			}
+		}
+	}
+	s.devWorker = make([]int, len(t.Machine.Devs))
+	for i, d := range t.Machine.Devs {
+		s.devWorker[i] = -1
+		for w := range t.loaders {
+			if t.loaders[w].Device() == d {
+				s.devWorker[i] = w
+			}
+		}
+	}
+	s.maxReady = make([]float64, nb)
+	s.order = make([]int, 0, nb)
+	s.startAt = make([]float64, len(t.Machine.Devs))
+	s.lastDone = make([]float64, len(t.Machine.Devs))
+	t.ov = s
+}
+
+// overlapGradSync averages each gradient bucket across replicas and issues
+// its hierarchical AllReduce on the copy stream, gated per device at the
+// moment that device's bucket became ready. Mirror devices are gated at the
+// busiest worker's readiness (matching how their compute is mirrored) and
+// joined here; real workers join inside the optimizer region via
+// WaitGradSync. Orchestrator-only, like every collective launch.
+func (t *Trainer) overlapGradSync() {
+	s := t.ov
+	m := t.Machine
+	for b := range s.buckets {
+		mr := 0.0
+		for w := range t.Models {
+			if s.readyAt[w][b] > mr {
+				mr = s.readyAt[w][b]
+			}
+		}
+		s.maxReady[b] = mr
+	}
+	// Issue buckets in readiness order (ties by index), the order DDP's
+	// reducer flushes them; insertion sort keeps this allocation-free.
+	order := s.order[:0]
+	for b := range s.buckets {
+		order = append(order, b)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.maxReady[order[j]] < s.maxReady[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	s.order = order
+	clear(s.lastDone)
+	for _, b := range order {
+		if len(t.Models) > 1 {
+			for _, pi := range s.buckets[b] {
+				t.averageParam(pi)
+			}
+		}
+		for i := range m.Devs {
+			if w := s.devWorker[i]; w >= 0 {
+				s.startAt[i] = s.readyAt[w][b]
+			} else {
+				s.startAt[i] = s.maxReady[b]
+			}
+		}
+		c := sim.StartHierarchicalAllReduce(m, s.bucketBytes[b], sim.CollOpts{
+			Stream: sim.StreamCopy, StartAt: s.startAt, Tag: "allreduce.grads",
+		})
+		for i := range m.Devs {
+			if done := c.Done[i].T; done > s.lastDone[i] {
+				s.lastDone[i] = done
+			}
+		}
+	}
+	for i, d := range m.Devs {
+		if s.devWorker[i] < 0 {
+			d.WaitEvent(sim.Event{T: s.lastDone[i]}, "grad-sync")
+		}
+	}
+}

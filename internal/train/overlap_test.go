@@ -1,0 +1,171 @@
+package train_test
+
+import (
+	"runtime"
+	"testing"
+
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/train"
+)
+
+// overlapRun trains a fresh model for the given epochs and returns the
+// stats, the final parameter values of every replica, and the machine.
+func overlapRun(t *testing.T, ds *dataset.Dataset, opts train.Options, nodes, epochs int) ([]train.EpochStats, [][][]float32, *sim.Machine) {
+	t.Helper()
+	m := sim.NewMachine(sim.DGXA100(nodes))
+	tr, err := train.New(m, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []train.EpochStats
+	for e := 0; e < epochs; e++ {
+		stats = append(stats, tr.RunEpoch())
+	}
+	var params [][][]float32
+	for _, mdl := range tr.Models {
+		var ps [][]float32
+		for _, p := range mdl.Params().Params() {
+			v := make([]float32, len(p.W.V))
+			copy(v, p.W.V)
+			ps = append(ps, v)
+		}
+		params = append(params, ps)
+	}
+	return stats, params, m
+}
+
+// TestOverlapGradsBitIdentical is the correctness anchor of the overlap
+// path: with pinned seeds, bucketed copy-stream gradient AllReduce must
+// produce bit-identical losses, accuracies and final parameters to the
+// blocking path — only virtual time may differ.
+func TestOverlapGradsBitIdentical(t *testing.T) {
+	ds := eqDataset(t)
+	opts := eqOpts("graphsage")
+	opts.RealWorkers = 3
+	opts.MaxItersPerEpoch = 3
+
+	off := opts
+	on := opts
+	on.OverlapGrads = true
+	offStats, offParams, _ := overlapRun(t, ds, off, 1, 2)
+	onStats, onParams, _ := overlapRun(t, ds, on, 1, 2)
+
+	for e := range offStats {
+		if offStats[e].Loss != onStats[e].Loss || offStats[e].TrainAcc != onStats[e].TrainAcc {
+			t.Errorf("epoch %d: loss/acc differ: blocking %v/%v overlap %v/%v",
+				e+1, offStats[e].Loss, offStats[e].TrainAcc, onStats[e].Loss, onStats[e].TrainAcc)
+		}
+	}
+	for w := range offParams {
+		for pi := range offParams[w] {
+			for i := range offParams[w][pi] {
+				if offParams[w][pi][i] != onParams[w][pi][i] {
+					t.Fatalf("worker %d param %d elem %d: blocking %v overlap %v",
+						w, pi, i, offParams[w][pi][i], onParams[w][pi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapGradsSerialParallelEquivalence checks the overlap path under
+// real worker goroutines: stats and every device clock must match the
+// serial reference bit-for-bit, like the base path's equivalence test.
+func TestOverlapGradsSerialParallelEquivalence(t *testing.T) {
+	ds := eqDataset(t)
+	run := func(parallel bool) ([]train.EpochStats, []float64) {
+		prev := sim.SetParallel(parallel)
+		defer sim.SetParallel(prev)
+		opts := eqOpts("gcn")
+		opts.RealWorkers = 3
+		opts.MaxItersPerEpoch = 3
+		opts.OverlapGrads = true
+		stats, _, m := overlapRun(t, ds, opts, 1, 2)
+		var clocks []float64
+		for _, d := range m.Devs {
+			clocks = append(clocks, d.Span())
+		}
+		return stats, clocks
+	}
+
+	prevProcs := runtime.GOMAXPROCS(1)
+	serialStats, serialClocks := run(false)
+	runtime.GOMAXPROCS(prevProcs)
+	parStats, parClocks := run(true)
+
+	for e := range serialStats {
+		if serialStats[e] != parStats[e] {
+			t.Errorf("epoch %d stats differ:\n serial   %+v\n parallel %+v", e+1, serialStats[e], parStats[e])
+		}
+	}
+	for i := range serialClocks {
+		if serialClocks[i] != parClocks[i] {
+			t.Errorf("clock %d: serial %v vs parallel %v", i, serialClocks[i], parClocks[i])
+		}
+	}
+}
+
+// TestOverlapGradsReducesEpochTime pins the performance claim: on a
+// multi-GPU machine with a model large enough that gradient communication
+// is bandwidth-bound, hiding per-bucket AllReduce under backward compute
+// must shorten the epoch. Same seeds, so the compute work is identical.
+func TestOverlapGradsReducesEpochTime(t *testing.T) {
+	ds := eqDataset(t)
+	opts := train.Options{
+		Arch: "graphsage", Batch: 96, Fanouts: []int{4, 4}, Hidden: 256,
+		LR: 0.01, Seed: 5, RealWorkers: 1, MaxItersPerEpoch: 2,
+	}
+	off := opts
+	on := opts
+	on.OverlapGrads = true
+	offStats, _, _ := overlapRun(t, ds, off, 1, 1)
+	onStats, _, _ := overlapRun(t, ds, on, 1, 1)
+	if onStats[0].EpochTime >= offStats[0].EpochTime {
+		t.Errorf("overlap epoch %.6gs not faster than blocking %.6gs",
+			onStats[0].EpochTime, offStats[0].EpochTime)
+	}
+	if onStats[0].Loss != offStats[0].Loss {
+		t.Errorf("loss drifted: overlap %v blocking %v", onStats[0].Loss, offStats[0].Loss)
+	}
+}
+
+// TestOverlapGradsComposesWithPipeline runs overlap together with the
+// prefetch pipeline: both overlays on, results still bit-identical to the
+// plain path and comm traffic recorded on the devices.
+func TestOverlapGradsComposesWithPipeline(t *testing.T) {
+	ds := eqDataset(t)
+	opts := eqOpts("graphsage")
+	opts.RealWorkers = 2
+	opts.MaxItersPerEpoch = 3
+
+	plain := opts
+	both := opts
+	both.OverlapGrads = true
+	both.Pipeline = true
+	plainStats, plainParams, _ := overlapRun(t, ds, plain, 1, 1)
+	bothStats, bothParams, m := overlapRun(t, ds, both, 1, 1)
+
+	if plainStats[0].Loss != bothStats[0].Loss {
+		t.Errorf("loss differs: plain %v pipelined+overlap %v", plainStats[0].Loss, bothStats[0].Loss)
+	}
+	for w := range plainParams {
+		for pi := range plainParams[w] {
+			for i := range plainParams[w][pi] {
+				if plainParams[w][pi][i] != bothParams[w][pi][i] {
+					t.Fatalf("worker %d param %d elem %d differs", w, pi, i)
+				}
+			}
+		}
+	}
+	var comm float64
+	for _, d := range m.Devs {
+		comm += d.Stats.CommSeconds
+		if d.Stats.NVLinkTxBytes == 0 {
+			t.Errorf("device %d sent no NVLink traffic during overlap training", d.ID)
+		}
+	}
+	if comm == 0 {
+		t.Error("no CommSeconds recorded")
+	}
+}

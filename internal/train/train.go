@@ -66,6 +66,14 @@ type Options struct {
 	// Gather values are unchanged; only the local/remote traffic split —
 	// and therefore virtual gather time — moves.
 	CacheRows int
+	// OverlapGrads overlaps gradient synchronization with the backward
+	// pass: parameters are bucketed per layer (DDP-style) and each bucket's
+	// hierarchical AllReduce is issued on the copy stream the moment
+	// backward finalizes its gradients, so communication for one layer
+	// hides under the backward compute of the next. Losses, gradients and
+	// model state are bit-identical to the blocking path; only virtual time
+	// improves. Composes with Pipeline.
+	OverlapGrads bool
 }
 
 // Normalize fills defaults (paper's §IV settings scaled only where the
@@ -157,6 +165,9 @@ type Trainer struct {
 	// across iterations, as are the per-parameter accumulator shapes.
 	avgParams [][]*nn.Param
 	avgSums   []*tensor.Dense
+	// ov is the gradient-overlap bucket state (Options.OverlapGrads),
+	// built lazily by ensureOverlap.
+	ov *overlapState
 }
 
 // New builds a WholeGraph trainer: it partitions the store onto every node
@@ -260,47 +271,61 @@ func Step(model gnn.Model, opt *nn.Adam, dev *sim.Device, b *gnn.Batch, train bo
 	return loss, acc
 }
 
+// ensureAvgState builds the stable per-replica parameter lists and the
+// per-parameter accumulator slots used by gradient averaging.
+func (t *Trainer) ensureAvgState() {
+	if t.avgParams == nil {
+		t.avgParams = make([][]*nn.Param, len(t.Models))
+		for w, mdl := range t.Models {
+			t.avgParams[w] = mdl.Params().Params()
+		}
+		t.avgSums = make([]*tensor.Dense, len(t.avgParams[0]))
+	}
+}
+
+// averageParam averages parameter pi's gradient across the replicas in
+// worker order and writes the mean back into every replica. The overlap
+// path calls this per bucket and the blocking path for every parameter, so
+// both produce bit-identical gradients.
+func (t *Trainer) averageParam(pi int) {
+	params := t.avgParams
+	var sum *tensor.Dense
+	n := 0
+	for w := range params {
+		g := params[w][pi].Grad()
+		if g == nil {
+			continue
+		}
+		if sum == nil {
+			if t.avgSums[pi] == nil {
+				t.avgSums[pi] = tensor.New(g.R, g.C)
+			}
+			sum = t.avgSums[pi]
+			copy(sum.V, g.V)
+		} else {
+			tensor.AccumInto(sum, g)
+		}
+		n++
+	}
+	if sum == nil {
+		return
+	}
+	tensor.ScaleInto(sum, sum, 1/float32(n))
+	for w := range params {
+		if g := params[w][pi].Grad(); g != nil {
+			copy(g.V, sum.V)
+		}
+	}
+}
+
 // averageGradients replicates data-parallel gradient averaging across the
-// real workers (pure math) and charges one full-machine hierarchical
-// AllReduce for the model's gradient bytes.
+// real workers (pure math) and charges one blocking full-machine
+// hierarchical AllReduce for the model's gradient bytes.
 func (t *Trainer) averageGradients() {
 	if len(t.Models) > 1 {
-		if t.avgParams == nil {
-			t.avgParams = make([][]*nn.Param, len(t.Models))
-			for w, mdl := range t.Models {
-				t.avgParams[w] = mdl.Params().Params()
-			}
-			t.avgSums = make([]*tensor.Dense, len(t.avgParams[0]))
-		}
-		params := t.avgParams
-		for pi := range params[0] {
-			var sum *tensor.Dense
-			n := 0
-			for w := range params {
-				g := params[w][pi].Grad()
-				if g == nil {
-					continue
-				}
-				if sum == nil {
-					if t.avgSums[pi] == nil {
-						t.avgSums[pi] = tensor.New(g.R, g.C)
-					}
-					sum = t.avgSums[pi]
-					copy(sum.V, g.V)
-				} else {
-					tensor.AccumInto(sum, g)
-				}
-				n++
-			}
-			if sum == nil {
-				continue
-			}
-			tensor.ScaleInto(sum, sum, 1/float32(n))
-			for w := range params {
-				if g := params[w][pi].Grad(); g != nil {
-					copy(g.V, sum.V)
-				}
-			}
+		t.ensureAvgState()
+		for pi := range t.avgParams[0] {
+			t.averageParam(pi)
 		}
 	}
 	bytes := float64(4 * t.Models[0].Params().NumElements())
@@ -360,6 +385,10 @@ func (t *Trainer) RunEpoch() EpochStats {
 		measured = t.Opts.MaxItersPerEpoch
 	}
 	pipelined := t.Pipelined()
+	overlap := t.Opts.OverlapGrads
+	if overlap {
+		t.ensureOverlap()
+	}
 	start := t.Machine.MaxTime()
 	batches := make([][][]int64, len(t.Models))
 	for w := range t.Models {
@@ -413,7 +442,23 @@ func (t *Trainer) RunEpoch() EpochStats {
 				loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
 				acc:  tensor.Accuracy(logits.Value, b.Labels),
 			}
-			tp.Backward(logits, grad)
+			if overlap {
+				// Track when backward finalizes each parameter bucket so
+				// the orchestrator can gate that bucket's AllReduce there.
+				s := t.ov
+				wl := s.watch[w][:0]
+				for _, p := range mdl.Params().Params() {
+					wl = append(wl, p.Var())
+				}
+				s.watch[w] = wl
+				for b := range s.buckets {
+					s.left[w][b] = len(s.buckets[b])
+					s.readyAt[w][b] = 0
+				}
+				tp.BackwardHooked(logits, grad, wl, s.readyFns[w])
+			} else {
+				tp.Backward(logits, grad)
+			}
 			if pipelined {
 				t.loaders[w].(PrefetchingLoader).Release()
 			}
@@ -441,10 +486,19 @@ func (t *Trainer) RunEpoch() EpochStats {
 		}
 		// Data parallelism: average gradients across replicas, then every
 		// worker takes the identical optimizer step on its own replica.
-		t.averageGradients()
+		if overlap {
+			t.overlapGradSync()
+		} else {
+			t.averageGradients()
+		}
 		sim.RunParallel(len(t.Models), func(w int) {
 			mdl := t.Models[w]
 			dev := t.loaders[w].Device()
+			if overlap {
+				// Join this device's compute stream with the completion of
+				// its own last gradient bucket on the copy stream.
+				dev.WaitEvent(sim.Event{T: t.ov.lastDone[dev.ID]}, "grad-sync")
+			}
 			if t.Opts.ClipNorm > 0 {
 				nn.ClipGradNorm(mdl.Params(), t.Opts.ClipNorm)
 			}

@@ -121,8 +121,12 @@ func AllocSharded[T Elem](c *Comm, sizes []int64) *Memory[T] {
 		d.Malloc(float64(sizes[r] * m.eb))
 		handles[r] = ipcHandle{rank: r, mem: len(m.shards)}
 	}
-	// Step 2: AllGather the handles so each rank holds all of them.
-	sim.AllGatherBytes(c.Devs, float64(len(handles)*16))
+	// Step 2: AllGather the handles so each rank holds all of them, issued
+	// through the step-level engine so the ring transfers occupy the links
+	// and show up in comm traces like every other collective.
+	if len(c.Devs) > 1 {
+		sim.StartRingAllGather(c.Devs, float64(len(handles)*16), sim.CollOpts{Tag: "ipc.allgather"}).Wait()
+	}
 	for _, d := range c.Devs {
 		d.IdleFor(d.Machine().Cfg.Link.IPCExchange, "ipc")
 	}

@@ -12,17 +12,21 @@
 #     serving): dynamic batching vs the batch=1 baseline at the same
 #     offered load — throughput, shed/timeout counts, p50/p99 and SLO
 #     attainment per mode, in virtual time.
+#   BENCH_comms.json — the gradient-overlap ablation (wgbench -exp
+#     abl-overlap-grads): blocking vs bucketed copy-stream AllReduce
+#     epoch times, per-link NVLink/IB traffic and collective stream time.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_hotpaths.json}"
 PIPE_OUT="${2:-BENCH_pipeline.json}"
 SERVE_OUT="${3:-BENCH_serving.json}"
+COMMS_OUT="${4:-BENCH_comms.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -91,3 +95,6 @@ echo "wrote $PIPE_OUT (raw output in $PIPE_RAW)"
 
 go run ./cmd/wgbench -exp serving -json "$SERVE_OUT"
 echo "wrote $SERVE_OUT"
+
+go run ./cmd/wgbench -exp abl-overlap-grads -json "$COMMS_OUT"
+echo "wrote $COMMS_OUT"
