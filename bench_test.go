@@ -297,6 +297,40 @@ func benchmarkPipelineEpoch(b *testing.B, pipeline bool) {
 func BenchmarkPipelineEpochSequential(b *testing.B) { benchmarkPipelineEpoch(b, false) }
 func BenchmarkPipelineEpochOverlapped(b *testing.B) { benchmarkPipelineEpoch(b, true) }
 
+// benchmarkGraphEpoch is the eager-vs-replay pair behind the step
+// capture/replay claim: identical workloads, differing only in
+// CaptureGraph. The warm-up epochs outside the timer capture both loader
+// slots, so ns/op and allocs/op of the replay side measure pure host
+// dispatch of replayed iterations; virtual-ms/epoch carries the modeled
+// graph-launch win.
+func benchmarkGraphEpoch(b *testing.B, capture bool) {
+	ds, err := wholegraph.GenerateDataset(wholegraph.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := wholegraph.NewDGXA100(1)
+	tr, err := wholegraph.NewTrainer(machine, ds, wholegraph.TrainOptions{
+		Arch: "graphsage", Batch: 8, Fanouts: []int{5, 5}, Hidden: 32,
+		CaptureGraph: capture,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.RunEpoch() // warm-up: captures both loader slots, pools settle
+	tr.RunEpoch()
+	tr.RunEpoch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last wholegraph.EpochStats
+	for i := 0; i < b.N; i++ {
+		last = tr.RunEpoch()
+	}
+	b.ReportMetric(last.EpochTime*1e3, "virtual-ms/epoch")
+}
+
+func BenchmarkGraphEpochEager(b *testing.B)  { benchmarkGraphEpoch(b, false) }
+func BenchmarkGraphEpochReplay(b *testing.B) { benchmarkGraphEpoch(b, true) }
+
 // --- Benches for the extension modules ---
 
 func BenchmarkPageRank(b *testing.B) {

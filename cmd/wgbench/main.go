@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"abl-part", "ablation: hash vs range vs community node placement", wrap(bench.AblationPartition)},
 	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
 	{"abl-overlap-grads", "ablation: bucketed gradient AllReduce overlapped with backward", wrap(bench.AblationOverlapGrads)},
+	{"abl-graph", "ablation: step capture/replay vs eager per-kernel dispatch", wrap(bench.AblationGraph)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 	{"serving", "online serving: dynamic batching vs batch=1", wrap(bench.Serving)},
@@ -82,6 +83,7 @@ type jsonReport struct {
 	Pipeline    bool             `json:"pipeline"`
 	CacheRows   int              `json:"cache_rows"`
 	OverlapG    bool             `json:"overlap_grads"`
+	CaptureG    bool             `json:"capture_graph"`
 	CacheHits   int64            `json:"cache_hits"`
 	CacheMisses int64            `json:"cache_misses"`
 	CacheHit    float64          `json:"cache_hit_rate"`
@@ -112,6 +114,7 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (identical math, shorter virtual epochs)")
 		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
 		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (identical math, different virtual epochs)")
+		captureG  = flag.Bool("capture-graph", false, "capture the training step once per loader slot and replay it graph-launch style (identical math, shorter virtual epochs)")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
@@ -129,8 +132,8 @@ func main() {
 	cfg := bench.Config{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
-		OverlapGrads: *overlapG,
-		W:            os.Stdout,
+		OverlapGrads: *overlapG, CaptureGraph: *captureG,
+		W: os.Stdout,
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(*exp, ",") {
@@ -139,7 +142,7 @@ func main() {
 	report := jsonReport{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
-		OverlapG:   *overlapG,
+		OverlapG: *overlapG, CaptureG: *captureG,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
 	}
 	if *cpuProf != "" {

@@ -39,6 +39,7 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (WholeGraph only; identical math)")
 		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (WholeGraph only; 0 = no cache)")
 		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (WholeGraph only; identical math)")
+		captureG  = flag.Bool("capture-graph", false, "capture the training step per loader slot and replay it graph-launch style (WholeGraph only; identical math)")
 		traceOut  = flag.String("trace-out", "", "write worker 0's device timeline as a Chrome trace JSON")
 		fullInfer = flag.Bool("full-infer", false, "run full-graph layer-wise inference after training (WholeGraph only)")
 		saveModel = flag.String("save-model", "", "write the trained model's parameters to a checkpoint file")
@@ -78,6 +79,7 @@ func main() {
 		Arch: *model, Batch: *batch, Fanouts: fanouts, Hidden: *hidden,
 		Heads: *heads, LR: *lr, Dropout: float32(*dropout), Seed: *seed,
 		Pipeline: *pipeline, CacheRows: *cacheRows, OverlapGrads: *overlapG,
+		CaptureGraph: *captureG,
 	}
 	opts.Trace = *traceOut != ""
 	var trainer *wholegraph.Trainer

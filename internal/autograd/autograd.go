@@ -80,6 +80,17 @@ type Tape struct {
 	// BackwardHooked scratch, reused across calls.
 	watchMin []int
 	watchIdx map[*Var]int
+
+	// Step capture/replay state (see BeginCapture). While capturing, op
+	// constructors append replay closures to program; the backward pass
+	// records every gradient tensor it allocates into bwdSeq so replays can
+	// rebind the same buffers instead of allocating.
+	capturing bool
+	program   []func()
+	capBwd    bool
+	replayBwd bool
+	bwdSeq    []*tensor.Dense
+	bwdCursor int
 }
 
 // NewTape returns an empty tape. A fresh tape is typically created per
@@ -102,6 +113,23 @@ func (t *Tape) Len() int { return len(t.nodes) }
 // arena it is pooled memory that Reset reclaims, without one it is a plain
 // allocation. All op outputs and gradients are allocated through it.
 func (t *Tape) NewTensor(r, c int) *tensor.Dense {
+	if t != nil && t.replayBwd {
+		// Replaying a captured backward pass: hand back the tensors the
+		// capture run allocated, in the same deterministic order, resized
+		// (and zeroed) to the live shapes.
+		if t.bwdCursor >= len(t.bwdSeq) {
+			panic("autograd: backward replay allocates more tensors than its capture did")
+		}
+		d := t.bwdSeq[t.bwdCursor]
+		t.bwdCursor++
+		d.Resize(r, c)
+		return d
+	}
+	if t != nil && t.capBwd {
+		d := tensor.New(r, c)
+		t.bwdSeq = append(t.bwdSeq, d)
+		return d
+	}
 	if t == nil || t.arena == nil {
 		return tensor.New(r, c)
 	}
@@ -235,9 +263,93 @@ func (t *Tape) BackwardHooked(loss *Var, seed *tensor.Dense, watch []*Var, onRea
 	t.replay(loss, seed, watch, onReady)
 }
 
+// --- Step capture/replay (CUDA-Graph-style) ---
+//
+// A capture iteration runs the model eagerly on a plain (non-arena) tape
+// between BeginCapture and EndCapture. Op constructors still execute their
+// math inline, but additionally append a replay closure to the tape's
+// program: the closure resizes the op's output from the live input shapes
+// and re-runs the math into the same buffer. The backward pass records, in
+// execution order, every gradient tensor it allocates (capBwd), so a later
+// ReplayBackward can walk the frozen tape with zero allocations, handing
+// each closure the buffer its capture run used (replayBwd + cursor).
+//
+// Replays therefore re-execute the exact op sequence with no tape mutation
+// and no per-op closure allocation — only buffer rebinding — which is what
+// lets the trainer bracket them in sim.BeginGraphReplay and charge one
+// graph launch instead of N kernel launches. Captured programs tolerate
+// changing *row counts* (every closure reads shapes live); a change of
+// graph *structure* (different op sequence, different block topology)
+// requires a fresh capture — the trainer's invalidation check handles that.
+
+// BeginCapture puts the tape into capture mode. The tape must be a plain
+// NewTape (no arena): captured tensors live as long as the program and must
+// never be recycled by Reset.
+func (t *Tape) BeginCapture() {
+	if t.arena != nil {
+		panic("autograd: capture requires a plain (non-arena) tape")
+	}
+	t.capturing = true
+	t.program = t.program[:0]
+	t.bwdSeq = t.bwdSeq[:0]
+}
+
+// Capturing reports whether the tape is between BeginCapture and EndCapture.
+// Layers consult it to record their device-charging steps via Capture.
+func (t *Tape) Capturing() bool { return t != nil && t.capturing }
+
+// Capture appends fn to the replay program when capturing; otherwise it is
+// a no-op. Layers use it to record device cost charges and out-of-band
+// forward steps (e.g. self-loop block rebuilds) in op order.
+func (t *Tape) Capture(fn func()) {
+	if t != nil && t.capturing {
+		t.program = append(t.program, fn)
+	}
+}
+
+// EndCapture leaves capture mode, freezing the recorded program. Call it
+// after the capture iteration's backward pass so gradient buffers are
+// recorded too.
+func (t *Tape) EndCapture() { t.capturing = false }
+
+// ProgramLen returns the number of recorded replay steps.
+func (t *Tape) ProgramLen() int { return len(t.program) }
+
+// ReplayForward re-executes the captured forward program against the
+// current parameter/input buffers: gradients are cleared and each recorded
+// step re-runs its math into the buffers wired up at capture. The caller
+// must have rebound any buffers that moved (parameters, batch inputs)
+// before calling.
+func (t *Tape) ReplayForward() {
+	for _, v := range t.vars {
+		v.Grad = nil
+	}
+	for _, fn := range t.program {
+		fn()
+	}
+}
+
+// ReplayBackward runs the frozen tape's backward pass allocation-free,
+// reusing the gradient buffers recorded at capture. watch/onReady follow
+// BackwardHooked semantics (pass nil for a plain backward).
+func (t *Tape) ReplayBackward(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(int)) {
+	t.replayBwd = true
+	t.bwdCursor = 0
+	t.replay(loss, seed, watch, onReady)
+	t.replayBwd = false
+	if t.bwdCursor != len(t.bwdSeq) {
+		panic(fmt.Sprintf("autograd: backward replay used %d of %d captured tensors",
+			t.bwdCursor, len(t.bwdSeq)))
+	}
+}
+
 func (t *Tape) replay(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(int)) {
 	if loss.tape != t {
 		panic("autograd: loss from a different tape")
+	}
+	if t.capturing {
+		t.capBwd = true
+		defer func() { t.capBwd = false }()
 	}
 	if !loss.Value.SameShape(seed) {
 		panic(fmt.Sprintf("autograd: seed shape %dx%d for loss %dx%d",
@@ -292,6 +404,12 @@ func (t *Tape) replay(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(
 func MatMul(x, w *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, w.Value.C)
 	tensor.MatMulInto(out, x.Value, w.Value)
+	if x.tape.capturing {
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, w.Value.C)
+			tensor.MatMulInto(out, x.Value, w.Value)
+		})
+	}
 	return x.tape.Op(out, []*Var{x, w}, func(v *Var) {
 		if x.needGrad {
 			gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -310,6 +428,12 @@ func MatMul(x, w *Var) *Var {
 func Add(a, b *Var) *Var {
 	out := a.tape.NewTensor(a.Value.R, a.Value.C)
 	tensor.AddInto(out, a.Value, b.Value)
+	if a.tape.capturing {
+		a.tape.Capture(func() {
+			out.Resize(a.Value.R, a.Value.C)
+			tensor.AddInto(out, a.Value, b.Value)
+		})
+	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		a.AccumGrad(v.Grad)
 		b.AccumGrad(v.Grad)
@@ -320,6 +444,12 @@ func Add(a, b *Var) *Var {
 func AddBias(x, b *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.AddRowInto(out, x.Value, b.Value)
+	if x.tape.capturing {
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			tensor.AddRowInto(out, x.Value, b.Value)
+		})
+	}
 	return x.tape.Op(out, []*Var{x, b}, func(v *Var) {
 		x.AccumGrad(v.Grad)
 		if b.needGrad {
@@ -334,6 +464,12 @@ func AddBias(x, b *Var) *Var {
 func ReLU(x *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ReLUInto(out, x.Value)
+	if x.tape.capturing {
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			tensor.ReLUInto(out, x.Value)
+		})
+	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.ReLUGradInto(gx, x.Value, v.Grad)
@@ -345,6 +481,12 @@ func ReLU(x *Var) *Var {
 func Scale(x *Var, s float32) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ScaleInto(out, x.Value, s)
+	if x.tape.capturing {
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			tensor.ScaleInto(out, x.Value, s)
+		})
+	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.ScaleInto(gx, v.Grad, s)
@@ -358,6 +500,16 @@ func Dropout(x *Var, p float32, rnd func() float32) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	mask := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.DropoutInto(out, x.Value, mask, p, rnd)
+	if x.tape.capturing {
+		// Replays re-draw from rnd in op order; since draw counts track the
+		// live shapes, a replayed epoch consumes the same random stream the
+		// eager epoch would, keeping the two bit-identical.
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			mask.Resize(x.Value.R, x.Value.C)
+			tensor.DropoutInto(out, x.Value, mask, p, rnd)
+		})
+	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
 		tensor.MulInto(gx, v.Grad, mask)
@@ -375,7 +527,31 @@ func Rows(x *Var, n int) *Var {
 	out := x.tape.NewView(n, x.Value.C, x.Value.V[:n*x.Value.C])
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
-		copy(gx.V[:n*x.Value.C], v.Grad.V)
+		copy(gx.V, v.Grad.V) // fills the first v.Grad.R rows, rest stays zero
+		x.AccumGrad(gx)
+	})
+}
+
+// RowsLive is the capturable variant of Rows: n is re-evaluated on every
+// replay, so the slice tracks the live batch size (e.g. the block's current
+// target count). Outside capture it is equivalent to Rows(x, n()).
+func RowsLive(x *Var, n func() int) *Var {
+	t := x.tape
+	nv := n()
+	if nv > x.Value.R {
+		panic(fmt.Sprintf("autograd: RowsLive(%d) of %d-row matrix", nv, x.Value.R))
+	}
+	out := t.NewView(nv, x.Value.C, x.Value.V[:nv*x.Value.C])
+	if t.capturing {
+		t.Capture(func() {
+			nv := n()
+			out.R, out.C = nv, x.Value.C
+			out.V = x.Value.V[:nv*x.Value.C]
+		})
+	}
+	return t.Op(out, []*Var{x}, func(v *Var) {
+		gx := t.NewTensor(x.Value.R, x.Value.C)
+		copy(gx.V, v.Grad.V)
 		x.AccumGrad(gx)
 	})
 }
@@ -387,9 +563,20 @@ func ConcatCols(a, b *Var) *Var {
 	}
 	ca, cb := a.Value.C, b.Value.C
 	out := a.tape.NewTensor(a.Value.R, ca+cb)
-	for i := 0; i < a.Value.R; i++ {
-		copy(out.Row(i)[:ca], a.Value.Row(i))
-		copy(out.Row(i)[ca:], b.Value.Row(i))
+	concat := func() {
+		for i := 0; i < a.Value.R; i++ {
+			copy(out.Row(i)[:ca], a.Value.Row(i))
+			copy(out.Row(i)[ca:], b.Value.Row(i))
+		}
+	}
+	concat()
+	if a.tape.capturing {
+		// Column widths are structural (fixed per capture); row counts are
+		// read live.
+		a.tape.Capture(func() {
+			out.Resize(a.Value.R, ca+cb)
+			concat()
+		})
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
@@ -415,8 +602,19 @@ func ConcatCols(a, b *Var) *Var {
 // encoder's output block.
 func GatherRows(x *Var, idx []int) *Var {
 	out := x.tape.NewTensor(len(idx), x.Value.C)
-	for i, r := range idx {
-		copy(out.Row(i), x.Value.Row(r))
+	gather := func() {
+		for i, r := range idx {
+			copy(out.Row(i), x.Value.Row(r))
+		}
+	}
+	gather()
+	if x.tape.capturing {
+		// idx is structural: a capture is only valid while the caller keeps
+		// feeding the same index set.
+		x.tape.Capture(func() {
+			out.Resize(len(idx), x.Value.C)
+			gather()
+		})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -437,13 +635,22 @@ func RowDot(a, b *Var) *Var {
 		panic("autograd: RowDot shape mismatch")
 	}
 	out := a.tape.NewTensor(a.Value.R, 1)
-	for i := 0; i < a.Value.R; i++ {
-		var s float32
-		ar, br := a.Value.Row(i), b.Value.Row(i)
-		for j := range ar {
-			s += ar[j] * br[j]
+	rowdot := func() {
+		for i := 0; i < a.Value.R; i++ {
+			var s float32
+			ar, br := a.Value.Row(i), b.Value.Row(i)
+			for j := range ar {
+				s += ar[j] * br[j]
+			}
+			out.V[i] = s
 		}
-		out.V[i] = s
+	}
+	rowdot()
+	if a.tape.capturing {
+		a.tape.Capture(func() {
+			out.Resize(a.Value.R, 1)
+			rowdot()
+		})
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
@@ -478,13 +685,22 @@ func ScaleByScalarPlusOne(x, s *Var) *Var {
 	if s.Value.R != 1 || s.Value.C != 1 {
 		panic("autograd: scalar must be 1x1")
 	}
-	factor := 1 + s.Value.V[0]
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
-	tensor.ScaleInto(out, x.Value, factor)
+	// The factor is read live inside each closure rather than bound at
+	// record time: the optimizer updates s between a capture and its
+	// replays, and the eager pass reads s before the optimizer runs, so the
+	// two stay equivalent.
+	tensor.ScaleInto(out, x.Value, 1+s.Value.V[0])
+	if x.tape.capturing {
+		x.tape.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			tensor.ScaleInto(out, x.Value, 1+s.Value.V[0])
+		})
+	}
 	return x.tape.Op(out, []*Var{x, s}, func(v *Var) {
 		if x.needGrad {
 			gx := x.tape.NewTensor(x.Value.R, x.Value.C)
-			tensor.ScaleInto(gx, v.Grad, factor)
+			tensor.ScaleInto(gx, v.Grad, 1+s.Value.V[0])
 			x.AccumGrad(gx)
 		}
 		if s.needGrad {
@@ -509,21 +725,32 @@ func SegmentMeanRows(x *Var, offsets []int) *Var {
 		panic("autograd: bad segment offsets")
 	}
 	out := x.tape.NewTensor(nSeg, x.Value.C)
-	for g := 0; g < nSeg; g++ {
-		lo, hi := offsets[g], offsets[g+1]
-		if hi <= lo {
-			continue
-		}
-		or := out.Row(g)
-		for r := lo; r < hi; r++ {
-			for j, v := range x.Value.Row(r) {
-				or[j] += v
+	pool := func() {
+		for g := 0; g < nSeg; g++ {
+			lo, hi := offsets[g], offsets[g+1]
+			if hi <= lo {
+				continue
+			}
+			or := out.Row(g)
+			for r := lo; r < hi; r++ {
+				for j, v := range x.Value.Row(r) {
+					or[j] += v
+				}
+			}
+			inv := 1 / float32(hi-lo)
+			for j := range or {
+				or[j] *= inv
 			}
 		}
-		inv := 1 / float32(hi-lo)
-		for j := range or {
-			or[j] *= inv
-		}
+	}
+	pool()
+	if x.tape.capturing {
+		// offsets are structural; Resize zeroes out so empty segments stay
+		// zero rows on every replay.
+		x.tape.Capture(func() {
+			out.Resize(nSeg, x.Value.C)
+			pool()
+		})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)

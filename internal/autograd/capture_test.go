@@ -1,0 +1,189 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+
+	"wholegraph/internal/tensor"
+)
+
+func fillSeq(d *tensor.Dense, base float32) {
+	for i := range d.V {
+		d.V[i] = base + float32(i%7) - 3
+	}
+}
+
+// buildChain runs a small op chain (matmul, bias, relu, row slice) on tp
+// over the shared buffers and returns the output plus the parameter vars.
+func buildChain(tp *Tape, x, w, b *tensor.Dense, rows func() int) (*Var, *Var, *Var) {
+	xv := tp.Const(x)
+	wv := tp.Param(w)
+	bv := tp.Param(b)
+	h := AddBias(MatMul(xv, wv), bv)
+	h = ReLU(h)
+	var out *Var
+	if tp.Capturing() {
+		out = RowsLive(h, rows)
+	} else {
+		out = Rows(h, rows())
+	}
+	return out, wv, bv
+}
+
+// TestCaptureReplayDynamicShapes captures an op chain once, then changes
+// both the input values and the row counts and replays: values and
+// parameter gradients must be bit-identical to a fresh eager recompute on
+// the same buffers.
+func TestCaptureReplayDynamicShapes(t *testing.T) {
+	x := tensor.New(5, 4)
+	w := tensor.New(4, 3)
+	b := tensor.New(1, 3)
+	fillSeq(x, 0.5)
+	fillSeq(w, -0.25)
+	fillSeq(b, 0.125)
+	targets := 4
+
+	ct := NewTape()
+	ct.BeginCapture()
+	out, wv, bv := buildChain(ct, x, w, b, func() int { return targets })
+	seed := tensor.New(out.Value.R, out.Value.C)
+	for i := range seed.V {
+		seed.V[i] = 1
+	}
+	ct.Backward(out, seed)
+	ct.EndCapture()
+	if ct.ProgramLen() == 0 {
+		t.Fatal("capture recorded no replay steps")
+	}
+
+	// Shrink the batch and change every input value.
+	x.Resize(3, 4)
+	fillSeq(x, 2)
+	fillSeq(w, 0.75)
+	targets = 2
+
+	ct.ReplayForward()
+	seed.Resize(out.Value.R, out.Value.C)
+	for i := range seed.V {
+		seed.V[i] = 1
+	}
+	ct.ReplayBackward(out, seed, nil, nil)
+
+	et := NewTape()
+	eOut, eWv, eBv := buildChain(et, x, w, b, func() int { return targets })
+	eSeed := tensor.New(eOut.Value.R, eOut.Value.C)
+	for i := range eSeed.V {
+		eSeed.V[i] = 1
+	}
+	et.Backward(eOut, eSeed)
+
+	if out.Value.R != eOut.Value.R || out.Value.C != eOut.Value.C {
+		t.Fatalf("replay shape %dx%d vs eager %dx%d", out.Value.R, out.Value.C, eOut.Value.R, eOut.Value.C)
+	}
+	for i := range eOut.Value.V {
+		if out.Value.V[i] != eOut.Value.V[i] {
+			t.Fatalf("output elem %d: replay %v eager %v", i, out.Value.V[i], eOut.Value.V[i])
+		}
+	}
+	for i := range eWv.Grad.V {
+		if wv.Grad.V[i] != eWv.Grad.V[i] {
+			t.Fatalf("w grad elem %d: replay %v eager %v", i, wv.Grad.V[i], eWv.Grad.V[i])
+		}
+	}
+	for i := range eBv.Grad.V {
+		if bv.Grad.V[i] != eBv.Grad.V[i] {
+			t.Fatalf("b grad elem %d: replay %v eager %v", i, bv.Grad.V[i], eBv.Grad.V[i])
+		}
+	}
+}
+
+// TestCaptureReplayDropoutRNG checks the RNG contract of replayed dropout:
+// a replay draws the next values from the persistent RNG stream, exactly
+// like a second eager iteration would, so graph and eager stay on the same
+// trajectory.
+func TestCaptureReplayDropoutRNG(t *testing.T) {
+	x := tensor.New(6, 3)
+	fillSeq(x, 1)
+
+	run := func(tp *Tape, rnd func() float32) *Var {
+		return Dropout(tp.Const(x), 0.5, rnd)
+	}
+
+	// Graph path: capture draws 1..n, replay draws n+1..2n.
+	rngG := rand.New(rand.NewSource(7))
+	ct := NewTape()
+	ct.BeginCapture()
+	out := run(ct, rngG.Float32)
+	seed := tensor.New(out.Value.R, out.Value.C)
+	for i := range seed.V {
+		seed.V[i] = 1
+	}
+	ct.Backward(out, seed)
+	ct.EndCapture()
+	ct.ReplayForward()
+	ct.ReplayBackward(out, seed, nil, nil)
+
+	// Eager path: two iterations off the same persistent stream.
+	rngE := rand.New(rand.NewSource(7))
+	run(NewTape(), rngE.Float32)
+	eOut := run(NewTape(), rngE.Float32)
+
+	for i := range eOut.Value.V {
+		if out.Value.V[i] != eOut.Value.V[i] {
+			t.Fatalf("elem %d: replay %v, second eager iteration %v", i, out.Value.V[i], eOut.Value.V[i])
+		}
+	}
+}
+
+// TestCaptureRequiresPlainTape pins the arena restriction: captured tensors
+// must outlive Reset, so arena tapes refuse to capture.
+func TestCaptureRequiresPlainTape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BeginCapture on an arena tape did not panic")
+		}
+	}()
+	NewTapeArena(tensor.NewArena()).BeginCapture()
+}
+
+// TestReplaySteadyStateAllocs checks that a warmed replay (forward +
+// backward) performs no per-iteration tape or tensor allocation: the
+// gradient buffers recorded at capture are reused via the backward cursor.
+// The only residue is the parallelRows dispatch closure inside the matmul
+// kernel (paid identically by eager execution), so the budget is the number
+// of row-parallel kernels in the chain, not zero.
+func TestReplaySteadyStateAllocs(t *testing.T) {
+	x := tensor.New(5, 4)
+	w := tensor.New(4, 3)
+	b := tensor.New(1, 3)
+	fillSeq(x, 0.5)
+	fillSeq(w, -0.25)
+	targets := 4
+
+	ct := NewTape()
+	ct.BeginCapture()
+	out, _, _ := buildChain(ct, x, w, b, func() int { return targets })
+	seed := tensor.New(out.Value.R, out.Value.C)
+	ct.Backward(out, seed)
+	ct.EndCapture()
+	ct.ReplayForward()
+	ct.ReplayBackward(out, seed, nil, nil)
+
+	replay := testing.AllocsPerRun(10, func() {
+		ct.ReplayForward()
+		ct.ReplayBackward(out, seed, nil, nil)
+	})
+	eager := testing.AllocsPerRun(10, func() {
+		et := NewTape()
+		eOut, _, _ := buildChain(et, x, w, b, func() int { return targets })
+		eSeed := tensor.New(eOut.Value.R, eOut.Value.C)
+		et.Backward(eOut, eSeed)
+	})
+	t.Logf("allocs per iteration: replay %.1f, eager %.1f", replay, eager)
+	if replay > 2 {
+		t.Errorf("steady-state replay allocates %.1f times per iteration, budget 2", replay)
+	}
+	if replay >= eager {
+		t.Errorf("replay allocations %.1f not below eager tape rebuild %.1f", replay, eager)
+	}
+}

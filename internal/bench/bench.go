@@ -53,6 +53,11 @@ type Config struct {
 	// train.Options.OverlapGrads). Model math and accuracy are
 	// bit-identical; epoch times change by the hidden communication.
 	OverlapGrads bool
+	// CaptureGraph runs every WholeGraph trainer with step capture/replay
+	// (see train.Options.CaptureGraph): after the capture warm-up,
+	// iterations replay the recorded step DAG with one graph launch instead
+	// of per-kernel launches. Model math and accuracy are bit-identical.
+	CaptureGraph bool
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -88,6 +93,7 @@ func (c Config) trainOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
+		CaptureGraph: c.CaptureGraph,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -109,6 +115,7 @@ func (c Config) accuracyOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
+		CaptureGraph: c.CaptureGraph,
 	}
 	if c.Quick {
 		o.Batch = 64

@@ -180,11 +180,52 @@ func (s *loopScratch) loop(l int) *spops.SubCSR {
 	return s.loops[l]
 }
 
+// chargeEltwiseFwd charges the forward half of an elementwise pass over x
+// now, and records the charge for replay when the tape is capturing (the
+// element count is read live, tracking the batch size).
+func chargeEltwiseFwd(dev *sim.Device, x *autograd.Var) {
+	nn.ChargeElementwiseForward(dev, int64(len(x.Value.V)))
+	if tp := x.Tape(); dev != nil && tp.Capturing() {
+		tp.Capture(func() { nn.ChargeElementwiseForward(dev, int64(len(x.Value.V))) })
+	}
+}
+
+// hookEltwiseBwd charges the backward half of an elementwise pass at
+// tape-replay time, when out's gradient is actually computed — mirroring
+// how Linear charges its backward GEMMs.
+func hookEltwiseBwd(dev *sim.Device, out *autograd.Var) {
+	if dev != nil {
+		out.OnBackward(func() { nn.ChargeElementwiseBackward(dev, int64(len(out.Value.V))) })
+	}
+}
+
+// captureSelfLoops records blk's self-loop rebuild into the replay program
+// when capturing, so replays refresh the scratch block from the live raw
+// block before the ops that read it.
+func captureSelfLoops(tp *autograd.Tape, dst, raw *spops.SubCSR) {
+	if tp.Capturing() {
+		tp.Capture(func() { withSelfLoopsInto(dst, raw) })
+	}
+}
+
+// sliceTargets slices the target rows off a feature block: the capturable
+// RowsLive when the tape is recording a step graph, the allocation-lean
+// Rows otherwise. blk must be the stable per-slot block pointer so replays
+// read the live target count.
+func sliceTargets(x *autograd.Var, blk *spops.SubCSR) *autograd.Var {
+	if x.Tape().Capturing() {
+		return autograd.RowsLive(x, func() int { return blk.NumTargets })
+	}
+	return autograd.Rows(x, blk.NumTargets)
+}
+
 // dropoutVar applies dropout when training with p > 0.
 func dropoutVar(dev *sim.Device, x *autograd.Var, p float32, train bool, rng *rand.Rand) *autograd.Var {
 	if !train || p <= 0 {
 		return x
 	}
-	nn.ChargeElementwise(dev, int64(len(x.Value.V)))
-	return autograd.Dropout(x, p, rng.Float32)
+	chargeEltwiseFwd(dev, x)
+	out := autograd.Dropout(x, p, rng.Float32)
+	hookEltwiseBwd(dev, out)
+	return out
 }

@@ -61,11 +61,14 @@ func (m *GCN) NumLayers() int { return m.cfg.Layers }
 // ForwardLayer implements LayerwiseModel. Parameters must already be bound
 // on x's tape.
 func (m *GCN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
-	agg := spops.SpMM(dev, m.cfg.Backend, withSelfLoopsInto(m.sl.loop(l), blk), x, nil, spops.AggMean)
+	slBlk := withSelfLoopsInto(m.sl.loop(l), blk)
+	captureSelfLoops(x.Tape(), m.sl.loop(l), blk)
+	agg := spops.SpMM(dev, m.cfg.Backend, slBlk, x, nil, spops.AggMean)
 	out := m.layers[l].Apply(dev, agg)
 	if !last {
-		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		chargeEltwiseFwd(dev, out)
 		out = autograd.ReLU(out)
+		hookEltwiseBwd(dev, out)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out
@@ -121,12 +124,13 @@ func (m *SAGE) NumLayers() int { return m.cfg.Layers }
 // ForwardLayer implements LayerwiseModel. Parameters must already be bound
 // on x's tape.
 func (m *SAGE) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
-	self := autograd.Rows(x, blk.NumTargets)
+	self := sliceTargets(x, blk)
 	agg := spops.SpMM(dev, m.cfg.Backend, blk, x, nil, spops.AggMean)
 	out := m.layers[l].Apply(dev, autograd.ConcatCols(self, agg))
 	if !last {
-		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		chargeEltwiseFwd(dev, out)
 		out = autograd.ReLU(out)
+		hookEltwiseBwd(dev, out)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out
@@ -205,10 +209,11 @@ func (m *GAT) NumLayers() int { return m.cfg.Layers }
 // on x's tape.
 func (m *GAT) ForwardLayer(dev *sim.Device, l int, rawBlk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
 	blk := withSelfLoopsInto(m.sl.loop(l), rawBlk)
+	captureSelfLoops(x.Tape(), m.sl.loop(l), rawBlk)
 	var headsOut *autograd.Var
 	for h := 0; h < m.cfg.Heads; h++ {
 		hproj := m.proj[l][h].Apply(dev, x) // [nodes x headDim]
-		ht := autograd.Rows(hproj, blk.NumTargets)
+		ht := sliceTargets(hproj, blk)
 		sl := autograd.MatMul(ht, m.attnL[l][h].Var())    // [targets x 1]
 		sr := autograd.MatMul(hproj, m.attnR[l][h].Var()) // [nodes x 1]
 		e := spops.EdgeLeakyReLU(dev, spops.EdgeScore(dev, blk, sl, sr), 0.2)
@@ -226,8 +231,10 @@ func (m *GAT) ForwardLayer(dev *sim.Device, l int, rawBlk *spops.SubCSR, x *auto
 	if last {
 		return autograd.Scale(headsOut, 1/float32(m.cfg.Heads))
 	}
-	nn.ChargeElementwise(dev, int64(len(headsOut.Value.V)))
-	return dropoutVar(dev, autograd.ReLU(headsOut), m.cfg.Dropout, train, m.rng)
+	chargeEltwiseFwd(dev, headsOut)
+	relu := autograd.ReLU(headsOut)
+	hookEltwiseBwd(dev, relu)
+	return dropoutVar(dev, relu, m.cfg.Dropout, train, m.rng)
 }
 
 // New constructs a model by architecture name ("gcn", "graphsage", "gat").
@@ -314,14 +321,15 @@ func (m *GIN) Forward(dev *sim.Device, tp *autograd.Tape, b *Batch, train bool) 
 // ForwardLayer implements LayerwiseModel.
 func (m *GIN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autograd.Var, last, train bool) *autograd.Var {
 	agg := spops.SpMM(dev, m.cfg.Backend, blk, x, nil, spops.AggSum)
-	self := autograd.Rows(x, blk.NumTargets)
+	self := sliceTargets(x, blk)
 	// (1+eps)*self + agg, with eps a learnable scalar.
 	scaled := autograd.ScaleByScalarPlusOne(self, m.eps[l].Var())
 	h := autograd.Add(scaled, agg)
 	out := m.mlp2[l].Apply(dev, autograd.ReLU(m.mlp1[l].Apply(dev, h)))
 	if !last {
-		nn.ChargeElementwise(dev, int64(len(out.Value.V)))
+		chargeEltwiseFwd(dev, out)
 		out = autograd.ReLU(out)
+		hookEltwiseBwd(dev, out)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out

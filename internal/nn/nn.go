@@ -60,6 +60,28 @@ func (s *ParamSet) Bind(tp *autograd.Tape) {
 	}
 }
 
+// BoundVars appends the parameters' current tape variables to dst and
+// returns it. The step-graph trainer snapshots these right after a capture
+// iteration so replays can restore them with RebindVars.
+func (s *ParamSet) BoundVars(dst []*autograd.Var) []*autograd.Var {
+	for _, p := range s.list {
+		dst = append(dst, p.Var())
+	}
+	return dst
+}
+
+// RebindVars restores a binding snapshot taken with BoundVars: parameter i
+// becomes bound to vs[i]. After a graph replay the optimizer then reads its
+// gradients from the captured tape's variables.
+func (s *ParamSet) RebindVars(vs []*autograd.Var) {
+	if len(vs) != len(s.list) {
+		panic(fmt.Sprintf("nn: RebindVars with %d vars for %d params", len(vs), len(s.list)))
+	}
+	for i, p := range s.list {
+		p.cur = vs[i]
+	}
+}
+
 // CopyFrom copies src's parameter values into s, matching by registration
 // order. It panics if the sets have different structure; optimizer state and
 // tape bindings are not copied. It is how per-goroutine model replicas are
@@ -114,11 +136,16 @@ func NewLinear(s *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
 // when the gradient work happens, which is what lets gradient communication
 // overlap with it. dev may be nil for pure computation.
 func (l *Linear) Apply(dev *sim.Device, x *autograd.Var) *autograd.Var {
-	rows := x.Value.R
-	ChargeLinearForward(dev, rows, l.In, l.Out)
+	tp := x.Tape()
+	ChargeLinearForward(dev, x.Value.R, l.In, l.Out)
+	if dev != nil && tp.Capturing() {
+		tp.Capture(func() { ChargeLinearForward(dev, x.Value.R, l.In, l.Out) })
+	}
 	mm := autograd.MatMul(x, l.W.Var())
 	if dev != nil {
-		mm.OnBackward(func() { ChargeLinearBackward(dev, rows, l.In, l.Out) })
+		// Row count is read live so replayed iterations charge the GEMMs of
+		// their own batch size.
+		mm.OnBackward(func() { ChargeLinearBackward(dev, x.Value.R, l.In, l.Out) })
 	}
 	return autograd.AddBias(mm, l.B.Var())
 }
@@ -177,13 +204,33 @@ func ClipGradNorm(s *ParamSet, maxNorm float64) float64 {
 	return norm
 }
 
-// ChargeElementwise charges dev a memory-bound elementwise pass over n
-// float32 elements (forward + backward), e.g. ReLU or dropout.
-func ChargeElementwise(dev *sim.Device, n int64) {
+// ChargeElementwiseForward charges dev the forward half of a memory-bound
+// elementwise pass over n float32 elements (read + write), e.g. ReLU or
+// dropout.
+func ChargeElementwiseForward(dev *sim.Device, n int64) {
 	if dev == nil {
 		return
 	}
-	dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * n * 4), Tag: "eltwise"})
+	dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * n * 2), Tag: "eltwise.fwd"})
+}
+
+// ChargeElementwiseBackward charges dev the backward half of an elementwise
+// pass (gradient read + write). Layers hook it via OnBackward so the cost
+// lands on the device clock when the gradient work actually happens — the
+// same replay-time charging Linear's backward GEMMs use — which sharpens
+// gradient-bucket ready times for the overlap engine.
+func ChargeElementwiseBackward(dev *sim.Device, n int64) {
+	if dev == nil {
+		return
+	}
+	dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * n * 2), Tag: "eltwise.bwd"})
+}
+
+// ChargeElementwise charges both halves at once (forward-record-time
+// charging, kept for callers without a backward pass to hook).
+func ChargeElementwise(dev *sim.Device, n int64) {
+	ChargeElementwiseForward(dev, n)
+	ChargeElementwiseBackward(dev, n)
 }
 
 // Adam is the Adam optimizer over a ParamSet. A non-zero WeightDecay turns

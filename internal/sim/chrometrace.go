@@ -46,6 +46,9 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 				cat += ".copy"
 				tid++
 			}
+			if iv.Graph && iv.Busy && !iv.Comm {
+				cat = "graph"
+			}
 			if iv.Comm {
 				cat = "comm"
 				tid = 3*d.Local + 2

@@ -25,6 +25,12 @@ type DeviceStats struct {
 	NVLinkTxBytes float64
 	IBTxBytes     float64
 	CommSeconds   float64
+	// Step-graph replay accounting: GraphLaunches counts whole-graph
+	// launches (each charging GraphLaunch once), GraphKernels counts the
+	// kernels that executed inside a replay with their per-kernel launch
+	// overhead suppressed.
+	GraphLaunches int64
+	GraphKernels  int64
 }
 
 // Device is one simulated GPU with two virtual timelines: a compute
@@ -44,6 +50,10 @@ type Device struct {
 	copyNow float64    // copy-stream clock
 	stream  StreamKind // stream that charges currently land on
 	trace   []Interval
+	// graphDepth > 0 while a captured step graph is replaying on this
+	// device (see graph.go): kernels skip their launch overhead and busy
+	// intervals are flagged for the trace.
+	graphDepth int
 	// Tracing controls whether busy/idle intervals are recorded (needed
 	// only for utilization plots; costs memory on long runs).
 	Tracing bool
@@ -76,7 +86,7 @@ func (d *Device) busy(dt float64, tag string) {
 	}
 	clk := d.clock()
 	if d.Tracing {
-		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Tag: tag, Stream: d.stream})
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Tag: tag, Stream: d.stream, Graph: d.graphDepth > 0})
 	}
 	*clk += dt
 	if d.stream == StreamCopy {
@@ -202,7 +212,15 @@ func (d *Device) Kernel(c KernelCost) float64 {
 		per := l.PCIeGBs / float64(l.GPUsPerSwitch) * seg / (seg + l.NVLinkHeaderBytes)
 		th = c.HostZeroCopyBytes / (per * 1e9)
 	}
-	dt := p.KernelLaunch + math.Max(math.Max(math.Max(tc, tm), math.Max(tr, tp)), math.Max(tu, th))
+	launch := p.KernelLaunch
+	if d.graphDepth > 0 {
+		// Inside a graph replay the kernel was baked into the captured
+		// graph: no per-kernel host dispatch, the step paid GraphLaunch
+		// once at BeginGraphReplay.
+		launch = 0
+		d.Stats.GraphKernels++
+	}
+	dt := launch + math.Max(math.Max(math.Max(tc, tm), math.Max(tr, tp)), math.Max(tu, th))
 	tag := c.Tag
 	if tag == "" {
 		tag = "kernel"

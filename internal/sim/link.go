@@ -101,45 +101,67 @@ func SendRecv(src, dst *Device, bytes float64) float64 {
 }
 
 // AlltoAllvBytes charges an AlltoAllv over the devices where sendBytes[i][j]
-// is the payload device i sends to device j. NCCL implements this as
-// pairwise exchanges; with NVSwitch every device's egress port is the
-// bottleneck, so the cost per device is its max of egress and ingress
-// volume at NVLink rate, plus per-peer latencies. This stays a bulk
-// (non-step-level) model charged behind a barrier: the gather baselines
-// that use it overlap nothing with it. Egress volume is counted in the
-// sender's NVLinkTxBytes.
+// is the payload device i sends to device j, through the step-level
+// collective engine. NCCL implements AlltoAllv as pairwise exchanges: in
+// round r = 1..n-1 device i sends its payload for peer (i+r) mod n while
+// receiving from peer (i-r) mod n, and the next round starts only once a
+// device finished both sides of the current one. Each hop starts when
+// sender and receiver are done with their previous round and the sender's
+// egress link (NVLink port intra-node, the node NIC across nodes) is free —
+// so device sets spanning nodes pay the InfiniBand cost on the crossing
+// hops (the old bulk model silently priced everything as NVLink), and a
+// concurrent collective serializes on any shared link. Blocking: all
+// compute streams join at the completion time.
 func AlltoAllvBytes(devs []*Device, sendBytes [][]float64) float64 {
 	n := len(devs)
 	if n < 2 {
 		return 0
 	}
-	start := Barrier(devs)
 	m := devs[0].m
-	l := m.Cfg.Link
-	end := start
-	for i, d := range devs {
-		var egress, ingress float64
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
+	ready := m.collReady[:n]
+	initReady(devs, ready, StreamCompute, nil)
+	sendStart := m.collSendStart[:n]
+	sendEnd := m.collSendEnd[:n]
+	for r := 1; r < n; r++ {
+		for i, src := range devs {
+			j := (i + r) % n
+			dst := devs[j]
+			start := ready[i]
+			if ready[j] > start {
+				start = ready[j]
 			}
-			egress += sendBytes[i][j]
-			ingress += sendBytes[j][i]
+			chunk := sendBytes[i][j]
+			var hop float64
+			var free *float64
+			if src.Node != dst.Node {
+				hop = ibTime(m, chunk)
+				free = &m.ibFree[src.Node]
+				src.Stats.IBTxBytes += chunk
+			} else {
+				hop = nvlinkP2PTime(m, chunk)
+				free = &m.nvlinkFree[src.ID]
+				src.Stats.NVLinkTxBytes += chunk
+			}
+			if *free > start {
+				start = *free
+			}
+			sendStart[i] = start
+			sendEnd[i] = start + hop
+			*free = sendEnd[i]
 		}
-		vol := egress
-		if ingress > vol {
-			vol = ingress
-		}
-		dt := float64(n-1)*l.P2PBaseLatency + vol/(l.NVLinkUniGBs*1e9*0.9)
-		d.commBusy(dt, "alltoallv")
-		d.Stats.NVLinkTxBytes += egress
-		if d.now > end {
-			end = d.now
+		for i, d := range devs {
+			p := (i - r + n) % n
+			s := sendStart[i]
+			if sendStart[p] < s {
+				s = sendStart[p]
+			}
+			e := sendEnd[i]
+			if sendEnd[p] > e {
+				e = sendEnd[p]
+			}
+			chargeComm(d, StreamCompute, s, e, "alltoallv")
+			ready[i] = e
 		}
 	}
-	// AlltoAllv completes only when every peer is done.
-	for _, d := range devs {
-		d.IdleUntil(end)
-	}
-	return end
+	return joinCompute(devs, ready)
 }

@@ -31,6 +31,11 @@ type DeviceParams struct {
 	RandMemEff float64
 	// KernelLaunch is the host-side launch overhead per kernel in seconds.
 	KernelLaunch float64
+	// GraphLaunch is the host-side cost of launching one captured execution
+	// graph (cudaGraphLaunch). Inside a graph replay the per-kernel launch
+	// overhead vanishes — the whole step pays this once instead of
+	// KernelLaunch per kernel.
+	GraphLaunch float64
 	// MemGB is the device memory capacity in GB (bookkeeping only; the
 	// simulator does not enforce it but experiments report against it).
 	MemGB float64
@@ -123,6 +128,7 @@ func DGXA100(nodes int) MachineConfig {
 			MemEff:       0.78,
 			RandMemEff:   0.35,
 			KernelLaunch: 4.5e-6,
+			GraphLaunch:  10e-6,
 			MemGB:        40,
 			MallocPerGB:  1.0e-3,
 			MallocBase:   0.1e-3,
@@ -256,6 +262,7 @@ func (m *Machine) Reset() {
 		d.copyNow = 0
 		d.stream = StreamCompute
 		d.trace = nil
+		d.graphDepth = 0
 		d.Stats = DeviceStats{}
 	}
 	for _, c := range m.CPUs {

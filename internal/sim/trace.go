@@ -9,7 +9,10 @@ type Interval struct {
 	Busy       bool
 	// Comm marks a collective-engine transfer (NVLink/IB occupancy rather
 	// than SM work); the Chrome trace gives these their own lane.
-	Comm   bool
+	Comm bool
+	// Graph marks work executed inside a captured step-graph replay (its
+	// per-kernel launch overhead was amortized into one graph launch).
+	Graph  bool
 	Tag    string
 	Stream StreamKind
 }

@@ -38,24 +38,7 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 
 	tp := x.Tape()
 	norm := tp.Scratch(g.NumTargets)
-	for t := 0; t < g.NumTargets; t++ {
-		norm[t] = 1
-		if agg != AggMean {
-			continue
-		}
-		if g.EdgeW != nil {
-			// Weighted mean: normalize by the static weight sum.
-			var sum float32
-			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
-				sum += g.EdgeW[e]
-			}
-			if sum != 0 {
-				norm[t] = 1 / sum
-			}
-		} else if deg := g.RowPtr[t+1] - g.RowPtr[t]; deg > 0 {
-			norm[t] = 1 / float32(deg)
-		}
-	}
+	spmmNorms(g, agg, norm)
 	staticW := func(e int64) float32 {
 		if g.EdgeW == nil {
 			return 1
@@ -64,52 +47,30 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 	}
 
 	out := tp.NewTensor(g.NumTargets, d)
-	switch be {
-	case BackendPyG:
-		// Materialize per-edge messages, then segment-reduce.
-		msgs := tp.NewTensor(int(g.NumEdges()), d)
-		for t := 0; t < g.NumTargets; t++ {
-			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
-				src := x.Value.Row(int(g.Col[e]))
-				dst := msgs.Row(int(e))
-				we := staticW(e)
-				if w != nil {
-					we *= w.Value.V[e]
-				}
-				for j, v := range src {
-					dst[j] = we * v
-				}
-			}
-		}
-		for t := 0; t < g.NumTargets; t++ {
-			or := out.Row(t)
-			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
-				mr := msgs.Row(int(e))
-				for j, v := range mr {
-					or[j] += v
-				}
-			}
-			for j := range or {
-				or[j] *= norm[t]
-			}
-		}
-	default:
-		// Fused CSR kernel.
-		for t := 0; t < g.NumTargets; t++ {
-			or := out.Row(t)
-			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
-				src := x.Value.Row(int(g.Col[e]))
-				we := norm[t] * staticW(e)
-				if w != nil {
-					we *= w.Value.V[e]
-				}
-				for j, v := range src {
-					or[j] += we * v
-				}
-			}
-		}
+	var msgs *tensor.Dense
+	if be == BackendPyG {
+		msgs = tp.NewTensor(int(g.NumEdges()), d)
 	}
+	spmmRun(be, g, x.Value, w, norm, msgs, out)
 	chargeSpMMForward(dev, be, g, d)
+	if tp.Capturing() {
+		// Replays re-read the block (same SubCSR pointer, fields rebuilt per
+		// batch): norms, shapes and charges all track the live topology. The
+		// backward closure below shares the norm variable, so a growth
+		// reallocation here is visible to it too.
+		tp.Capture(func() {
+			if g.NumTargets > len(norm) {
+				norm = make([]float32, g.NumTargets)
+			}
+			spmmNorms(g, agg, norm)
+			out.Resize(g.NumTargets, d)
+			if msgs != nil {
+				msgs.Resize(int(g.NumEdges()), d)
+			}
+			spmmRun(be, g, x.Value, w, norm, msgs, out)
+			chargeSpMMForward(dev, be, g, d)
+		})
+	}
 
 	inputs := []*autograd.Var{x}
 	if w != nil {
@@ -153,6 +114,87 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 	})
 }
 
+// spmmNorms fills norm[t] for every target of g: 1 for AggSum, the inverse
+// (weighted) degree for AggMean. norm must have length >= g.NumTargets.
+func spmmNorms(g *SubCSR, agg Agg, norm []float32) {
+	for t := 0; t < g.NumTargets; t++ {
+		norm[t] = 1
+		if agg != AggMean {
+			continue
+		}
+		if g.EdgeW != nil {
+			// Weighted mean: normalize by the static weight sum.
+			var sum float32
+			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
+				sum += g.EdgeW[e]
+			}
+			if sum != 0 {
+				norm[t] = 1 / sum
+			}
+		} else if deg := g.RowPtr[t+1] - g.RowPtr[t]; deg > 0 {
+			norm[t] = 1 / float32(deg)
+		}
+	}
+}
+
+// spmmRun executes the aggregation math of SpMM into out (which must be
+// zeroed, [g.NumTargets x d]): the fused CSR kernel by default, or the
+// materialized per-edge message path for BackendPyG (msgs non-nil,
+// [E x d]). All graph fields are read live so a captured closure can re-run
+// it against a rebuilt block.
+func spmmRun(be Backend, g *SubCSR, xVal *tensor.Dense, w *autograd.Var, norm []float32, msgs, out *tensor.Dense) {
+	staticW := func(e int64) float32 {
+		if g.EdgeW == nil {
+			return 1
+		}
+		return g.EdgeW[e]
+	}
+	switch be {
+	case BackendPyG:
+		// Materialize per-edge messages, then segment-reduce.
+		for t := 0; t < g.NumTargets; t++ {
+			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
+				src := xVal.Row(int(g.Col[e]))
+				dst := msgs.Row(int(e))
+				we := staticW(e)
+				if w != nil {
+					we *= w.Value.V[e]
+				}
+				for j, v := range src {
+					dst[j] = we * v
+				}
+			}
+		}
+		for t := 0; t < g.NumTargets; t++ {
+			or := out.Row(t)
+			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
+				mr := msgs.Row(int(e))
+				for j, v := range mr {
+					or[j] += v
+				}
+			}
+			for j := range or {
+				or[j] *= norm[t]
+			}
+		}
+	default:
+		// Fused CSR kernel.
+		for t := 0; t < g.NumTargets; t++ {
+			or := out.Row(t)
+			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
+				src := xVal.Row(int(g.Col[e]))
+				we := norm[t] * staticW(e)
+				if w != nil {
+					we *= w.Value.V[e]
+				}
+				for j, v := range src {
+					or[j] += we * v
+				}
+			}
+		}
+	}
+}
+
 // EdgeScore computes per-edge attention inputs score_e = sl[t] + sr[s] for
 // every sampled edge e=(t<-s), a g-SDDMM pattern. sl is [NumTargets x 1],
 // sr is [NumNodes x 1]; the result is [E x 1].
@@ -165,12 +207,22 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 	}
 	tp := sl.Tape()
 	out := tp.NewTensor(int(g.NumEdges()), 1)
-	for t := 0; t < g.NumTargets; t++ {
-		for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
-			out.V[e] = sl.Value.V[t] + sr.Value.V[g.Col[e]]
+	score := func() {
+		for t := 0; t < g.NumTargets; t++ {
+			for e := g.RowPtr[t]; e < g.RowPtr[t+1]; e++ {
+				out.V[e] = sl.Value.V[t] + sr.Value.V[g.Col[e]]
+			}
 		}
 	}
+	score()
 	chargeSDDMM(dev, g, 1)
+	if tp.Capturing() {
+		tp.Capture(func() {
+			out.Resize(int(g.NumEdges()), 1)
+			score()
+			chargeSDDMM(dev, g, 1)
+		})
+	}
 	return tp.Op(out, []*autograd.Var{sl, sr}, func(v *autograd.Var) {
 		if sl.NeedsGrad() {
 			gl := tp.NewTensor(g.NumTargets, 1)
@@ -198,11 +250,20 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 func EdgeLeakyReLU(dev *sim.Device, x *autograd.Var, slope float32) *autograd.Var {
 	tp := x.Tape()
 	out := tp.NewTensor(x.Value.R, x.Value.C)
-	for i, v := range x.Value.V {
-		out.V[i] = tensor.LeakyReLU(v, slope)
+	lrelu := func() {
+		for i, v := range x.Value.V {
+			out.V[i] = tensor.LeakyReLU(v, slope)
+		}
+		if dev != nil {
+			dev.Kernel(sim.KernelCost{StreamBytes: float64(8 * len(x.Value.V)), Tag: "leakyrelu"})
+		}
 	}
-	if dev != nil {
-		dev.Kernel(sim.KernelCost{StreamBytes: float64(8 * len(x.Value.V)), Tag: "leakyrelu"})
+	lrelu()
+	if tp.Capturing() {
+		tp.Capture(func() {
+			out.Resize(x.Value.R, x.Value.C)
+			lrelu()
+		})
 	}
 	return tp.Op(out, []*autograd.Var{x}, func(v *autograd.Var) {
 		gx := tp.NewTensor(x.Value.R, x.Value.C)
@@ -221,27 +282,37 @@ func SegmentSoftmax(dev *sim.Device, g *SubCSR, e *autograd.Var) *autograd.Var {
 	}
 	tp := e.Tape()
 	out := tp.NewTensor(e.Value.R, 1)
-	for t := 0; t < g.NumTargets; t++ {
-		lo, hi := g.RowPtr[t], g.RowPtr[t+1]
-		if lo == hi {
-			continue
-		}
-		maxv := e.Value.V[lo]
-		for i := lo + 1; i < hi; i++ {
-			if e.Value.V[i] > maxv {
-				maxv = e.Value.V[i]
+	softmax := func() {
+		for t := 0; t < g.NumTargets; t++ {
+			lo, hi := g.RowPtr[t], g.RowPtr[t+1]
+			if lo == hi {
+				continue
+			}
+			maxv := e.Value.V[lo]
+			for i := lo + 1; i < hi; i++ {
+				if e.Value.V[i] > maxv {
+					maxv = e.Value.V[i]
+				}
+			}
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += math.Exp(float64(e.Value.V[i] - maxv))
+			}
+			for i := lo; i < hi; i++ {
+				out.V[i] = float32(math.Exp(float64(e.Value.V[i]-maxv)) / sum)
 			}
 		}
-		var sum float64
-		for i := lo; i < hi; i++ {
-			sum += math.Exp(float64(e.Value.V[i] - maxv))
-		}
-		for i := lo; i < hi; i++ {
-			out.V[i] = float32(math.Exp(float64(e.Value.V[i]-maxv)) / sum)
+		if dev != nil {
+			dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * 4 * e.Value.R), Tag: "segsoftmax"})
 		}
 	}
-	if dev != nil {
-		dev.Kernel(sim.KernelCost{StreamBytes: float64(4 * 4 * e.Value.R), Tag: "segsoftmax"})
+	softmax()
+	if tp.Capturing() {
+		tp.Capture(func() {
+			// Resize zeroes out, so edges of empty segments stay zero.
+			out.Resize(e.Value.R, 1)
+			softmax()
+		})
 	}
 	return tp.Op(out, []*autograd.Var{e}, func(v *autograd.Var) {
 		ge := tp.NewTensor(e.Value.R, 1)

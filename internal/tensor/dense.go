@@ -71,6 +71,27 @@ func (d *Dense) Zero() {
 	}
 }
 
+// Resize reshapes d to [r x c] in place, reusing the existing backing slice
+// when it has capacity and reallocating only on growth. The content is always
+// zeroed, so a resized tensor is indistinguishable from a freshly allocated
+// one — accumulate-style kernels (SpMM's fused +=, scatter backward passes)
+// rely on starting from zeros.
+func (d *Dense) Resize(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", r, c))
+	}
+	n := r * c
+	if n > cap(d.V) {
+		d.V = make([]float32, n)
+	} else {
+		d.V = d.V[:n]
+		for i := range d.V {
+			d.V[i] = 0
+		}
+	}
+	d.R, d.C = r, c
+}
+
 // SameShape reports whether d and o have identical shapes.
 func (d *Dense) SameShape(o *Dense) bool { return d.R == o.R && d.C == o.C }
 

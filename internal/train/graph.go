@@ -1,0 +1,229 @@
+package train
+
+import (
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/gnn"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/spops"
+	"wholegraph/internal/tensor"
+)
+
+// Step capture/replay (Options.CaptureGraph): the training loop re-runs an
+// identical op sequence every iteration, yet the eager path re-walks the
+// tape, re-dispatches every op and pays KernelLaunch per kernel — the host
+// overhead CUDA Graphs eliminate. Here the first iteration on each batch
+// slot runs eagerly on a plain capture tape (autograd.BeginCapture),
+// recording the forward program and the backward gradient buffers; later
+// iterations on the same slot replay the frozen tape: no tape rebuild, no
+// per-op closure allocation, only parameter/gradient buffer rebinding, and
+// the device charges one GraphLaunch instead of one KernelLaunch per
+// kernel (sim.BeginGraphReplay). Loss/accuracy, gradient averaging and the
+// optimizer stay live outside the captured program, so losses, gradients
+// and model state are bit-identical to eager execution.
+//
+// Captures tolerate varying row counts (every replay closure reads shapes
+// from the live block/feature buffers); they are keyed by batch identity
+// and invalidated when the batch's structure moves (feature tensor or
+// block pointers replaced), falling back to an eager re-capture. Loaders
+// that never reuse batch objects (the host-memory baselines) blow through
+// maxGraphsPerWorker and drop to permanent eager fallback.
+
+// maxGraphsPerWorker bounds how many captured step graphs a worker keeps.
+// The WholeGraph loader's two-slot ring needs two; anything past this means
+// the loader does not reuse batch objects and capture cannot pay off.
+const maxGraphsPerWorker = 4
+
+// stepResult is one worker's loss/accuracy from a training step.
+type stepResult struct {
+	loss, acc float64
+}
+
+// stepGraph is one captured training step for one batch slot.
+type stepGraph struct {
+	tape   *autograd.Tape
+	logits *autograd.Var
+	grad   *tensor.Dense // loss-gradient seed, resized per replay
+	// paramVars snapshots the capture tape's parameter bindings so replays
+	// can point the optimizer back at them.
+	paramVars []*autograd.Var
+	// Structural identity at capture: replay is valid only while the batch
+	// still presents these exact objects.
+	feat   *tensor.Dense
+	blocks []*spops.SubCSR
+}
+
+// matches reports whether the batch still has the structure g captured.
+func (g *stepGraph) matches(b *gnn.Batch) bool {
+	if b.Feat != g.feat || len(b.Blocks) != len(g.blocks) {
+		return false
+	}
+	for i, blk := range b.Blocks {
+		if blk != g.blocks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// graphState is the per-trainer capture machinery. Every slice is indexed
+// by real worker, and each worker touches only its own entries inside the
+// parallel region, mirroring device ownership.
+type graphState struct {
+	graphs   []map[*gnn.Batch]*stepGraph
+	fallback []bool // worker exceeded maxGraphsPerWorker: stay eager
+
+	captures      []int64
+	replays       []int64
+	invalidations []int64
+}
+
+// GraphStats sums capture/replay/invalidation counts across workers. All
+// zero unless Options.CaptureGraph ran.
+func (t *Trainer) GraphStats() (captures, replays, invalidations int64) {
+	if t.gs == nil {
+		return 0, 0, 0
+	}
+	for w := range t.gs.graphs {
+		captures += t.gs.captures[w]
+		replays += t.gs.replays[w]
+		invalidations += t.gs.invalidations[w]
+	}
+	return captures, replays, invalidations
+}
+
+func (t *Trainer) ensureGraphState() {
+	if t.gs != nil {
+		return
+	}
+	nw := len(t.Models)
+	gs := &graphState{
+		graphs:        make([]map[*gnn.Batch]*stepGraph, nw),
+		fallback:      make([]bool, nw),
+		captures:      make([]int64, nw),
+		replays:       make([]int64, nw),
+		invalidations: make([]int64, nw),
+	}
+	for w := range gs.graphs {
+		gs.graphs[w] = make(map[*gnn.Batch]*stepGraph, maxGraphsPerWorker)
+	}
+	t.gs = gs
+}
+
+// resetOverlapWatch refills worker w's overlap watch list from vars and
+// re-arms the per-bucket countdowns for one backward pass.
+func (t *Trainer) resetOverlapWatch(w int, vars []*autograd.Var) []*autograd.Var {
+	s := t.ov
+	wl := append(s.watch[w][:0], vars...)
+	s.watch[w] = wl
+	for b := range s.buckets {
+		s.left[w][b] = len(s.buckets[b])
+		s.readyAt[w][b] = 0
+	}
+	return wl
+}
+
+// eagerStep is the classic training step: reset the worker's arena tape,
+// forward, loss, backward. Runs inside the parallel region.
+func (t *Trainer) eagerStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, overlap bool) stepResult {
+	tp := t.tapes[w]
+	tp.Reset()
+	logits := mdl.Forward(dev, tp, b, true)
+	grad := tp.NewTensor(logits.Value.R, logits.Value.C)
+	res := stepResult{
+		loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
+		acc:  tensor.Accuracy(logits.Value, b.Labels),
+	}
+	if overlap {
+		// Track when backward finalizes each parameter bucket so the
+		// orchestrator can gate that bucket's AllReduce there.
+		s := t.ov
+		wl := t.resetOverlapWatch(w, nil)
+		for _, p := range mdl.Params().Params() {
+			wl = append(wl, p.Var())
+		}
+		s.watch[w] = wl
+		tp.BackwardHooked(logits, grad, wl, s.readyFns[w])
+	} else {
+		tp.Backward(logits, grad)
+	}
+	return res
+}
+
+// graphStep replays the captured graph for b, capturing (or invalidating
+// and re-capturing) as needed. Runs inside the parallel region.
+func (t *Trainer) graphStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, overlap bool) stepResult {
+	gs := t.gs
+	if g, ok := gs.graphs[w][b]; ok {
+		if g.matches(b) {
+			gs.replays[w]++
+			return t.replayStep(w, mdl, dev, b, g, overlap)
+		}
+		// Structure moved under the same batch object: drop and re-capture.
+		delete(gs.graphs[w], b)
+		gs.invalidations[w]++
+	}
+	if len(gs.graphs[w]) >= maxGraphsPerWorker {
+		// The loader is not reusing batch objects; capture cannot amortize.
+		gs.fallback[w] = true
+		return t.eagerStep(w, mdl, dev, b, overlap)
+	}
+	return t.captureStep(w, mdl, dev, b, overlap)
+}
+
+// captureStep runs one eager-priced iteration on a fresh plain tape with
+// capture enabled, freezing the step graph for b.
+func (t *Trainer) captureStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, overlap bool) stepResult {
+	tp := autograd.NewTape()
+	tp.BeginCapture()
+	logits := mdl.Forward(dev, tp, b, true)
+	grad := tensor.New(logits.Value.R, logits.Value.C)
+	res := stepResult{
+		loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
+		acc:  tensor.Accuracy(logits.Value, b.Labels),
+	}
+	if overlap {
+		s := t.ov
+		wl := t.resetOverlapWatch(w, nil)
+		for _, p := range mdl.Params().Params() {
+			wl = append(wl, p.Var())
+		}
+		s.watch[w] = wl
+		tp.BackwardHooked(logits, grad, wl, s.readyFns[w])
+	} else {
+		tp.Backward(logits, grad)
+	}
+	tp.EndCapture()
+	t.gs.graphs[w][b] = &stepGraph{
+		tape:      tp,
+		logits:    logits,
+		grad:      grad,
+		paramVars: mdl.Params().BoundVars(nil),
+		feat:      b.Feat,
+		blocks:    append([]*spops.SubCSR(nil), b.Blocks...),
+	}
+	t.gs.captures[w]++
+	return res
+}
+
+// replayStep re-executes a captured step: rebind the parameters to the
+// capture tape, replay forward inside a graph-launch bracket, recompute
+// loss/accuracy live (the loss layer is outside the graph, as its output
+// feeds the host), and replay backward over the frozen tape.
+func (t *Trainer) replayStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, g *stepGraph, overlap bool) stepResult {
+	mdl.Params().RebindVars(g.paramVars)
+	dev.BeginGraphReplay("step-graph")
+	g.tape.ReplayForward()
+	g.grad.Resize(g.logits.Value.R, g.logits.Value.C)
+	res := stepResult{
+		loss: tensor.CrossEntropy(g.logits.Value, b.Labels, g.grad),
+		acc:  tensor.Accuracy(g.logits.Value, b.Labels),
+	}
+	if overlap {
+		wl := t.resetOverlapWatch(w, g.paramVars)
+		g.tape.ReplayBackward(g.logits, g.grad, wl, t.ov.readyFns[w])
+	} else {
+		g.tape.ReplayBackward(g.logits, g.grad, nil, nil)
+	}
+	dev.EndGraphReplay()
+	return res
+}

@@ -7,10 +7,12 @@ import (
 
 // Gradient-communication overlap (Options.OverlapGrads): instead of one
 // blocking AllReduce over the whole gradient vector after backward, the
-// model's parameters are grouped into per-layer buckets (DDP-style, by name
-// prefix) and each bucket's hierarchical AllReduce is issued on the copy
-// stream as soon as every worker's backward pass has finalized that
-// bucket's gradients — the tape reports readiness through BackwardHooked.
+// model's parameters are coalesced into byte-bounded buckets (DDP's
+// bucket_cap_mb scheme: consecutive parameters accumulate into a bucket
+// until its gradient payload reaches Options.BucketBytes) and each bucket's
+// hierarchical AllReduce is issued on the copy stream as soon as every
+// worker's backward pass has finalized that bucket's gradients — the tape
+// reports readiness through BackwardHooked.
 // Communication for layer l+1 then rides under the backward compute of
 // layer l, and the optimizer only waits for each device's own last bucket.
 // The averaging math per bucket is byte-for-byte the code averageGradients
@@ -38,38 +40,34 @@ type overlapState struct {
 	lastDone  []float64 // per device: its completion time of its last bucket
 }
 
-// bucketKey groups parameters by the prefix up to the second dot of their
-// registered name: "sage.1.W" and "sage.1.B" share bucket "sage.1", matching
-// how DDP buckets consecutive parameters of one layer.
-func bucketKey(name string) string {
-	dots := 0
-	for i, c := range name {
-		if c == '.' {
-			dots++
-			if dots == 2 {
-				return name[:i]
-			}
-		}
-	}
-	return name
-}
+// defaultBucketBytes is the coalescing threshold when Options.BucketBytes
+// is unset: 256 KiB of gradient payload per bucket, small enough that the
+// paper-scale models still split into several buckets and backward/comm
+// overlap has pipeline stages to fill.
+const defaultBucketBytes = 256 << 10
 
 // ensureOverlap builds the bucket layout and per-worker scratch on first use.
+// Consecutive parameters (registration order, which matches backward
+// finalization order in reverse) coalesce into one bucket until the bucket
+// holds at least bucketCap gradient bytes, then the next parameter opens a
+// fresh bucket — tiny biases ride with their layer's weights instead of
+// paying a standalone AllReduce's latency.
 func (t *Trainer) ensureOverlap() {
 	if t.ov != nil {
 		return
 	}
 	t.ensureAvgState()
+	bucketCap := float64(t.Opts.BucketBytes)
+	if bucketCap <= 0 {
+		bucketCap = defaultBucketBytes
+	}
 	s := &overlapState{}
 	params := t.Models[0].Params().Params()
 	s.paramBucket = make([]int, len(params))
-	prevKey := ""
 	for pi, p := range params {
-		key := bucketKey(p.Name)
-		if pi == 0 || key != prevKey {
+		if pi == 0 || s.bucketBytes[len(s.buckets)-1] >= bucketCap {
 			s.buckets = append(s.buckets, nil)
 			s.bucketBytes = append(s.bucketBytes, 0)
-			prevKey = key
 		}
 		b := len(s.buckets) - 1
 		s.buckets[b] = append(s.buckets[b], pi)

@@ -74,6 +74,21 @@ type Options struct {
 	// model state are bit-identical to the blocking path; only virtual time
 	// improves. Composes with Pipeline.
 	OverlapGrads bool
+	// CaptureGraph captures each worker's training step as a replayable
+	// graph (CUDA-Graph style): the first iterations on a given batch slot
+	// record the op sequence, and subsequent iterations replay it with no
+	// tape walk and no per-op dispatch, charging one graph launch in virtual
+	// time instead of one launch per kernel. Row counts may vary between
+	// replays (shapes are rebound from the live batch); a change of batch
+	// structure invalidates the capture and falls back to eager execution
+	// with re-capture. Losses, gradients and model state are bit-identical
+	// to eager execution. Composes with Pipeline and OverlapGrads.
+	CaptureGraph bool
+	// BucketBytes is the gradient-bucket coalescing threshold in bytes for
+	// OverlapGrads (DDP bucket_cap_mb-style): consecutive parameters are
+	// packed into one bucket until it holds at least this many gradient
+	// bytes. 0 takes the 256 KiB default.
+	BucketBytes int
 }
 
 // Normalize fills defaults (paper's §IV settings scaled only where the
@@ -168,6 +183,9 @@ type Trainer struct {
 	// ov is the gradient-overlap bucket state (Options.OverlapGrads),
 	// built lazily by ensureOverlap.
 	ov *overlapState
+	// gs is the step-graph capture state (Options.CaptureGraph), built
+	// lazily by ensureGraphState.
+	gs *graphState
 }
 
 // New builds a WholeGraph trainer: it partitions the store onto every node
@@ -389,6 +407,10 @@ func (t *Trainer) RunEpoch() EpochStats {
 	if overlap {
 		t.ensureOverlap()
 	}
+	captureGraph := t.Opts.CaptureGraph
+	if captureGraph {
+		t.ensureGraphState()
+	}
 	start := t.Machine.MaxTime()
 	batches := make([][][]int64, len(t.Models))
 	for w := range t.Models {
@@ -402,10 +424,7 @@ func (t *Trainer) RunEpoch() EpochStats {
 	// Per-worker results of one iteration's parallel region; losses and
 	// accuracies are reduced in worker order after the join so the sums are
 	// bit-identical to serial execution.
-	type workerResult struct {
-		loss, acc float64
-	}
-	results := make([]workerResult, len(t.Models))
+	results := make([]stepResult, len(t.Models))
 	for it := 0; it < measured; it++ {
 		iterStart := t.Machine.MaxTime()
 		if pipelined {
@@ -434,30 +453,10 @@ func (t *Trainer) RunEpoch() EpochStats {
 			}
 			timings[w] = tm
 			trainStart[w] = dev.Now()
-			tp := t.tapes[w]
-			tp.Reset()
-			logits := mdl.Forward(dev, tp, b, true)
-			grad := tp.NewTensor(logits.Value.R, logits.Value.C)
-			results[w] = workerResult{
-				loss: tensor.CrossEntropy(logits.Value, b.Labels, grad),
-				acc:  tensor.Accuracy(logits.Value, b.Labels),
-			}
-			if overlap {
-				// Track when backward finalizes each parameter bucket so
-				// the orchestrator can gate that bucket's AllReduce there.
-				s := t.ov
-				wl := s.watch[w][:0]
-				for _, p := range mdl.Params().Params() {
-					wl = append(wl, p.Var())
-				}
-				s.watch[w] = wl
-				for b := range s.buckets {
-					s.left[w][b] = len(s.buckets[b])
-					s.readyAt[w][b] = 0
-				}
-				tp.BackwardHooked(logits, grad, wl, s.readyFns[w])
+			if captureGraph && !t.gs.fallback[w] {
+				results[w] = t.graphStep(w, mdl, dev, b, overlap)
 			} else {
-				tp.Backward(logits, grad)
+				results[w] = t.eagerStep(w, mdl, dev, b, overlap)
 			}
 			if pipelined {
 				t.loaders[w].(PrefetchingLoader).Release()

@@ -15,11 +15,14 @@
 #   BENCH_comms.json — the gradient-overlap ablation (wgbench -exp
 #     abl-overlap-grads): blocking vs bucketed copy-stream AllReduce
 #     epoch times, per-link NVLink/IB traffic and collective stream time.
+#   BENCH_graph.json — the step capture/replay ablation (wgbench -exp
+#     abl-graph): eager vs graph-replay epoch times, measured host ns and
+#     allocations per iteration, capture/replay counts, loss bit-identity.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json]]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json]]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,6 +30,7 @@ OUT="${1:-BENCH_hotpaths.json}"
 PIPE_OUT="${2:-BENCH_pipeline.json}"
 SERVE_OUT="${3:-BENCH_serving.json}"
 COMMS_OUT="${4:-BENCH_comms.json}"
+GRAPH_OUT="${5:-BENCH_graph.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -98,3 +102,6 @@ echo "wrote $SERVE_OUT"
 
 go run ./cmd/wgbench -exp abl-overlap-grads -json "$COMMS_OUT"
 echo "wrote $COMMS_OUT"
+
+go run ./cmd/wgbench -exp abl-graph -json "$GRAPH_OUT"
+echo "wrote $GRAPH_OUT"
