@@ -60,6 +60,8 @@ var experiments = []struct {
 	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
 	{"abl-overlap-grads", "ablation: bucketed gradient AllReduce overlapped with backward", wrap(bench.AblationOverlapGrads)},
 	{"abl-graph", "ablation: step capture/replay vs eager per-kernel dispatch", wrap(bench.AblationGraph)},
+	{"abl-featstore", "ablation: flat slab vs paged+encoded out-of-core feature store", wrap(bench.AblationFeatstore)},
+	{"featstore-full", "out-of-core papers100M: paged features at full scale", wrap(bench.FeatstoreFull)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 	{"serving", "online serving: dynamic batching vs batch=1", wrap(bench.Serving)},
@@ -84,9 +86,16 @@ type jsonReport struct {
 	CacheRows   int              `json:"cache_rows"`
 	OverlapG    bool             `json:"overlap_grads"`
 	CaptureG    bool             `json:"capture_graph"`
+	PagedFeat   bool             `json:"paged_features"`
+	FeatEnc     string           `json:"feat_encoding,omitempty"`
 	CacheHits   int64            `json:"cache_hits"`
 	CacheMisses int64            `json:"cache_misses"`
 	CacheHit    float64          `json:"cache_hit_rate"`
+	FeatHits    int64            `json:"featstore_hits"`
+	FeatMisses  int64            `json:"featstore_misses"`
+	FeatHit     float64          `json:"featstore_hit_rate"`
+	FeatEvicts  int64            `json:"featstore_evictions"`
+	FeatResB    int64            `json:"featstore_resident_bytes"`
 	NVLinkTxGB  float64          `json:"nvlink_tx_gb"`
 	IBTxGB      float64          `json:"ib_tx_gb"`
 	CommSeconds float64          `json:"comm_seconds"`
@@ -105,20 +114,24 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
-		scale     = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
-		quick     = flag.Bool("quick", false, "reduced model sizes and iteration counts")
-		epochs    = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		parallel  = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
-		pipeline  = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (identical math, shorter virtual epochs)")
-		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
-		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (identical math, different virtual epochs)")
-		captureG  = flag.Bool("capture-graph", false, "capture the training step once per loader slot and replay it graph-launch style (identical math, shorter virtual epochs)")
-		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
-		memProf   = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
+		exp        = flag.String("exp", "all", "comma-separated experiments (all, "+names()+")")
+		scale      = flag.Float64("scale", 1e-3, "dataset scale factor vs the paper's full-size graphs")
+		quick      = flag.Bool("quick", false, "reduced model sizes and iteration counts")
+		epochs     = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Bool("parallel", false, "run independent experiment cells on parallel goroutines (identical output, less wall-clock)")
+		pipeline   = flag.Bool("pipeline", false, "overlap batch building with training on each device's copy stream (identical math, shorter virtual epochs)")
+		cacheRows  = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
+		overlapG   = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (identical math, different virtual epochs)")
+		captureG   = flag.Bool("capture-graph", false, "capture the training step once per loader slot and replay it graph-launch style (identical math, shorter virtual epochs)")
+		pagedF     = flag.Bool("paged-features", false, "serve features from the out-of-core paged store (bit-identical math with raw encoding)")
+		featEnc    = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
+		featPgRows = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
+		featCache  = flag.Int("feat-cache-mb", 0, "paged-store per-device BlockCache budget in MiB (0 = default)")
+		jsonPath   = flag.String("json", "", "also write machine-readable results to this path")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
+		memProf    = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	)
 	flag.Parse()
 
@@ -133,6 +146,8 @@ func main() {
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
 		OverlapGrads: *overlapG, CaptureGraph: *captureG,
+		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
+		FeatPageRows: *featPgRows, FeatCacheMB: *featCache,
 		W: os.Stdout,
 	}
 	want := map[string]bool{}
@@ -143,6 +158,7 @@ func main() {
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
 		OverlapG: *overlapG, CaptureG: *captureG,
+		PagedFeat: *pagedF, FeatEnc: *featEnc,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
 	}
 	if *cpuProf != "" {
@@ -201,6 +217,13 @@ func main() {
 		report.CacheHit = float64(hits) / float64(hits+misses)
 		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*report.CacheHit)
+	}
+	if hits, misses, evicts, resident := bench.FeatStoreCounters(); hits+misses > 0 {
+		report.FeatHits, report.FeatMisses = hits, misses
+		report.FeatHit = float64(hits) / float64(hits+misses)
+		report.FeatEvicts, report.FeatResB = evicts, resident
+		fmt.Printf("feature store: %d page hits / %d misses (%.1f%% hit rate), %d evictions, %.1f MiB resident\n",
+			hits, misses, 100*report.FeatHit, evicts, float64(resident)/(1<<20))
 	}
 	if nvlink, ib, comm := bench.CommCounters(); comm > 0 {
 		report.NVLinkTxGB = nvlink / 1e9

@@ -40,6 +40,11 @@ func main() {
 		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (WholeGraph only; 0 = no cache)")
 		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (WholeGraph only; identical math)")
 		captureG  = flag.Bool("capture-graph", false, "capture the training step per loader slot and replay it graph-launch style (WholeGraph only; identical math)")
+		pagedF    = flag.Bool("paged-features", false, "serve features from the out-of-core paged store (WholeGraph only; bit-identical with raw encoding)")
+		featEnc   = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
+		featRows  = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
+		featCache = flag.Int("feat-cache-mb", 0, "paged-store per-device BlockCache budget in MiB (0 = default)")
+		outOfCore = flag.Bool("out-of-core", false, "generate the dataset without a feature slab (implies -paged-features)")
 		traceOut  = flag.String("trace-out", "", "write worker 0's device timeline as a Chrome trace JSON")
 		fullInfer = flag.Bool("full-infer", false, "run full-graph layer-wise inference after training (WholeGraph only)")
 		saveModel = flag.String("save-model", "", "write the trained model's parameters to a checkpoint file")
@@ -66,7 +71,12 @@ func main() {
 		spec = spec.Scaled(*scale)
 		spec.Weighted = *weighted
 		fmt.Printf("generating %s at scale %g...\n", *dsName, *scale)
-		ds, err = wholegraph.GenerateDataset(spec)
+		if *outOfCore {
+			*pagedF = true
+			ds, err = wholegraph.GenerateDatasetOutOfCore(spec)
+		} else {
+			ds, err = wholegraph.GenerateDataset(spec)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -79,7 +89,9 @@ func main() {
 		Arch: *model, Batch: *batch, Fanouts: fanouts, Hidden: *hidden,
 		Heads: *heads, LR: *lr, Dropout: float32(*dropout), Seed: *seed,
 		Pipeline: *pipeline, CacheRows: *cacheRows, OverlapGrads: *overlapG,
-		CaptureGraph: *captureG,
+		CaptureGraph:  *captureG,
+		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
+		FeatPageRows: *featRows, FeatCacheMB: *featCache,
 	}
 	opts.Trace = *traceOut != ""
 	var trainer *wholegraph.Trainer
@@ -123,6 +135,11 @@ func main() {
 	if hits, misses := trainer.CacheStats(); hits+misses > 0 {
 		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if fst := trainer.FeatStoreStats(); fst.Hits+fst.Misses > 0 {
+		fmt.Printf("feature store (%s, %d rows/page): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %.1f MiB resident of %.1f MiB budget\n",
+			fst.Encoding, fst.PageRows, fst.Hits, fst.Misses, 100*fst.HitRate(),
+			fst.Evictions, float64(fst.ResidentBytes)/(1<<20), float64(fst.CacheBytes)/(1<<20))
 	}
 	if *fullInfer {
 		if len(trainer.Stores) == 0 {

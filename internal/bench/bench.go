@@ -58,6 +58,19 @@ type Config struct {
 	// iterations replay the recorded step DAG with one graph launch instead
 	// of per-kernel launches. Model math and accuracy are bit-identical.
 	CaptureGraph bool
+	// PagedFeatures routes every WholeGraph trainer's features through the
+	// out-of-core paged store (see train.Options.PagedFeatures): host
+	// features live in encoded pages behind per-device LRU BlockCaches,
+	// and page misses are priced through the UM/PCIe fault model. With the
+	// raw encoding, model math is bit-identical to the flat slab.
+	PagedFeatures bool
+	// FeatEncoding selects the page encoding ("raw", "f16", "q8"); only
+	// meaningful with PagedFeatures. Non-raw encodings are lossy.
+	FeatEncoding string
+	// FeatPageRows is the rows-per-page of the paged store (0 = default).
+	FeatPageRows int
+	// FeatCacheMB is each device's BlockCache budget in MiB (0 = default).
+	FeatCacheMB int
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -93,7 +106,9 @@ func (c Config) trainOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
-		CaptureGraph: c.CaptureGraph,
+		CaptureGraph:  c.CaptureGraph,
+		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
+		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -115,7 +130,9 @@ func (c Config) accuracyOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
-		CaptureGraph: c.CaptureGraph,
+		CaptureGraph:  c.CaptureGraph,
+		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
+		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -224,6 +241,7 @@ func newTrainer(fw Framework, nodes int, ds *dataset.Dataset, opts train.Options
 		tr, err = train.New(m, ds, opts)
 		if err == nil {
 			registerCaches(tr.Caches())
+			registerFeatStores(tr.FeatStores())
 		}
 	default:
 		err = fmt.Errorf("bench: unknown framework %q", fw)

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationFeatstore(t *testing.T) {
+	rows, err := AblationFeatstore(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]FeatstoreVariantRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+		if r.EpochTime <= 0 || len(r.Losses) == 0 {
+			t.Errorf("%s: empty result %+v", r.Variant, r)
+		}
+	}
+	if !byName["flat"].BitIdentical || !byName["paged/raw"].BitIdentical {
+		t.Error("paged/raw losses not bit-identical to the flat slab")
+	}
+	for _, v := range []string{"paged/raw", "paged/f16", "paged/q8"} {
+		r := byName[v]
+		if r.HitRate <= 0 || r.EncodedBytes <= 0 {
+			t.Errorf("%s: cache stats missing: %+v", v, r)
+		}
+	}
+	// The encodings shrink the encoded working set 4:2:1.
+	raw, f16, q8 := byName["paged/raw"].EncodedBytes, byName["paged/f16"].EncodedBytes, byName["paged/q8"].EncodedBytes
+	if f16*2 != raw || q8*4 != raw {
+		t.Errorf("encoded bytes not 4:2:1 (raw %d, f16 %d, q8 %d)", raw, f16, q8)
+	}
+}
+
+func TestFeatstoreFull(t *testing.T) {
+	cfg := testCfg()
+	res, err := FeatstoreFull(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes <= 0 || res.EpochTime <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Encoding != "raw" {
+		t.Errorf("default encoding %q, want raw", res.Encoding)
+	}
+	if res.HitRate <= 0 || res.HitRate > 1 {
+		t.Errorf("hit rate %v out of range", res.HitRate)
+	}
+	if res.ResidentBytes > res.CacheBudgetBytes {
+		t.Errorf("resident %d over budget %d", res.ResidentBytes, res.CacheBudgetBytes)
+	}
+	if res.FlatSlabBytes != res.Nodes*128*4 {
+		t.Errorf("flat slab %d for %d nodes", res.FlatSlabBytes, res.Nodes)
+	}
+	// At test scale no cap triggers; the fields must still be coherent.
+	if res.EdgesCapped && res.EdgesRun >= res.EdgesRequested {
+		t.Errorf("cap reported but edges not reduced: %+v", res)
+	}
+	if !res.EdgesCapped && res.EdgesRun != res.EdgesRequested {
+		t.Errorf("no cap but edges differ: %+v", res)
+	}
+}
+
+func TestInferenceScaleClampSurfaced(t *testing.T) {
+	cfg := testCfg() // scale 2e-4: below the 1e-3 floor
+	var sb strings.Builder
+	cfg.W = &sb
+	rows, err := Inference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if !r.ScaleClamped || r.Scale != 2e-4 || r.ScaleUsed != 1e-3 {
+			t.Errorf("clamp not surfaced in result: %+v", r)
+		}
+	}
+	if !strings.Contains(sb.String(), "below the 1e-3 floor") {
+		t.Error("clamp note not printed")
+	}
+}

@@ -16,6 +16,14 @@ import (
 type InferenceResult struct {
 	Dataset string
 	Nodes   int64
+	// Scale is the scale the caller asked for; ScaleUsed is the scale the
+	// experiment actually ran at. Requests below the 1e-3 floor (the graph
+	// must be many batches wide for the comparison to mean anything) are
+	// clamped up, and ScaleClamped records that the substitution happened
+	// instead of it being silent.
+	Scale        float64
+	ScaleUsed    float64
+	ScaleClamped bool
 	// SampledTime embeds all nodes through the mini-batch pipeline
 	// (re-sampling and re-computing shared neighborhoods per batch).
 	SampledTime float64
@@ -38,10 +46,14 @@ func Inference(cfg Config) ([]InferenceResult, error) {
 	cfg.printf("%-22s %10s %14s %14s %14s %9s\n",
 		"dataset", "nodes", "sampled", "full-graph", "pipelined", "speedup")
 	// Embedding the whole graph needs the graph to be many batches wide
-	// for the comparison to be meaningful; enforce a scale floor.
+	// for the comparison to be meaningful; enforce a scale floor — and say
+	// so, rather than silently running a different experiment than asked.
 	scale := cfg.Scale
+	clamped := false
 	if scale < 1e-3 {
 		scale = 1e-3
+		clamped = true
+		cfg.printf("note: requested scale %g is below the 1e-3 floor for this experiment; running at 1e-3\n", cfg.Scale)
 	}
 	specs := []dataset.Spec{
 		dataset.OgbnProducts.Scaled(scale),
@@ -130,6 +142,7 @@ func Inference(cfg Config) ([]InferenceResult, error) {
 
 		r := InferenceResult{
 			Dataset: spec.Name, Nodes: ds.Spec.Nodes,
+			Scale: cfg.Scale, ScaleUsed: scale, ScaleClamped: clamped,
 			SampledTime: sampled, FullGraphTime: full, PipelinedTime: pipelined,
 			Speedup: sampled / full,
 		}

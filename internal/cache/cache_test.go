@@ -179,6 +179,7 @@ func TestCacheErrors(t *testing.T) {
 	s2 := *s
 	pg := *s.PG
 	pg.Feat = nil
+	pg.SetFeatures(nil)
 	s2.PG = &pg
 	if _, err := cache.NewDegreeCache(s2.PG, m.Devs[0], 10); err == nil {
 		t.Error("featureless graph accepted")

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wholegraph/internal/graph"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/wholemem"
+)
+
+// randPartitioned builds a partitioned graph over one simulated node with a
+// skewed random degree distribution (many ties, a few hubs) — the shape the
+// degree ordering has to break ties on.
+func randPartitioned(tb testing.TB, n int64, rng *rand.Rand) *graph.Partitioned {
+	tb.Helper()
+	deg := make([]int64, n)
+	var m int64
+	for v := range deg {
+		d := int64(rng.Intn(4)) // heavy tie pressure
+		if rng.Intn(64) == 0 {
+			d = int64(16 + rng.Intn(100)) // occasional hub
+		}
+		deg[v] = d
+		m += d
+	}
+	csr := &graph.CSR{N: n, RowPtr: make([]int64, n+1), Col: make([]int64, m)}
+	for v := int64(0); v < n; v++ {
+		csr.RowPtr[v+1] = csr.RowPtr[v] + deg[v]
+	}
+	for i := range csr.Col {
+		csr.Col[i] = rng.Int63n(n)
+	}
+	mach := sim.NewMachine(sim.DGXA100(1))
+	comm, err := wholemem.NewComm(mach.NodeDevs(0))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pg, err := graph.Partition(csr, nil, 0, comm)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pg
+}
+
+// TestDegreeOrderMatchesComparator pins the radix ordering to the
+// comparator-based oracle: identical key sequence, so identical cache fill
+// order — the satellite-1 equivalence guarantee.
+func TestDegreeOrderMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int64{1, 2, 63, 500, 4096} {
+		pg := randPartitioned(t, n, rng)
+		fast := degreeOrder(pg)
+		slow := degreeOrderSlow(pg)
+		if len(fast) != len(slow) {
+			t.Fatalf("n=%d: length %d != %d", n, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("n=%d: order diverges at %d: %x != %x", n, i, fast[i], slow[i])
+			}
+		}
+		// Spot-check the invariant directly: degree descending, node
+		// ascending within a degree.
+		prevDeg := int64(1) << 40
+		prevNode := int64(-1)
+		for _, key := range fast {
+			d := int64(^uint32(key >> 32))
+			v := int64(uint32(key))
+			if d > prevDeg || (d == prevDeg && v <= prevNode) {
+				t.Fatalf("n=%d: (deg=%d,node=%d) after (deg=%d,node=%d)", n, d, v, prevDeg, prevNode)
+			}
+			if d != pg.Degree(pg.Owner[v]) {
+				t.Fatalf("n=%d: key degree %d != graph degree", n, d)
+			}
+			prevDeg, prevNode = d, v
+		}
+	}
+}
+
+// BenchmarkDegreeOrder pins the satellite-1 speedup: the radix ordering
+// against the sort.Slice comparator it replaced.
+func BenchmarkDegreeOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pg := randPartitioned(b, 200_000, rng)
+	for _, bench := range []struct {
+		name string
+		fn   func(*graph.Partitioned) []uint64
+	}{{"radix", degreeOrder}, {"sortslice", degreeOrderSlow}} {
+		b.Run(fmt.Sprintf("%s/n=200k", bench.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.fn(pg)
+			}
+		})
+	}
+}

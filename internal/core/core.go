@@ -12,6 +12,7 @@ import (
 
 	"wholegraph/internal/cache"
 	"wholegraph/internal/dataset"
+	"wholegraph/internal/featstore"
 	"wholegraph/internal/gnn"
 	"wholegraph/internal/graph"
 	"wholegraph/internal/sampling"
@@ -70,6 +71,58 @@ func NewStoreWithFeatureKind(m *sim.Machine, node int, ds *dataset.Dataset, kind
 		s.PG.Feat.WithKind(kind)
 	}
 	return s, nil
+}
+
+// NewStorePaged is NewStore with node features served by the paged,
+// compressed feature store (internal/featstore) instead of the flat
+// wholemem slab: the graph is partitioned without a feature table and a
+// Store over the dataset's rows — the materialized slab when present, the
+// on-demand generator for out-of-core datasets — is installed as the
+// graph's FeatureSource, with one BlockCache per GPU. With the Raw
+// encoding the decoded rows are bit-identical to the slab, so training
+// losses match the flat path exactly; lossy encodings are opt-in.
+func NewStorePaged(m *sim.Machine, node int, ds *dataset.Dataset, opts featstore.Options) (*Store, error) {
+	comm, err := wholemem.NewComm(m.NodeDevs(node))
+	if err != nil {
+		return nil, err
+	}
+	pg, err := graph.Partition(ds.Graph, nil, ds.Spec.FeatDim, comm)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s: %w", ds.Spec.Name, err)
+	}
+	if ds.Spec.Weighted {
+		pg.AttachEdgeWeights(graph.HashEdgeWeight)
+	}
+	if ds.Feat == nil && ds.Gen == nil {
+		return nil, fmt.Errorf("core: %s has no features for the paged store", ds.Spec.Name)
+	}
+	fs, err := featstore.New(&partitionRows{pg: pg, ds: ds}, opts)
+	if err != nil {
+		return nil, err
+	}
+	fs.Attach(comm.Devs...)
+	pg.SetFeatures(fs)
+	return &Store{Machine: m, Node: node, Comm: comm, DS: ds, PG: pg}, nil
+}
+
+// FeatStore returns the paged feature store behind a NewStorePaged store,
+// or nil for slab-backed stores.
+func (s *Store) FeatStore() *featstore.Store {
+	fs, _ := s.PG.Features().(*featstore.Store)
+	return fs
+}
+
+// partitionRows adapts the dataset's per-node rows to the partitioned
+// feature-row order (rank-major, FeatRow indices) the loader gathers with.
+type partitionRows struct {
+	pg *graph.Partitioned
+	ds *dataset.Dataset
+}
+
+func (p *partitionRows) NumRows() int64 { return p.pg.N }
+func (p *partitionRows) Dim() int       { return p.pg.Dim }
+func (p *partitionRows) FillRow(row int64, dst []float32) {
+	p.ds.FillFeatRow(p.pg.RowOrig(row), dst)
 }
 
 // loaderSlot is one entry of the loader's two-slot batch ring: the full
@@ -324,7 +377,7 @@ func (l *Loader) buildInto(s *loaderSlot, targets []int64) {
 	if l.cache != nil {
 		l.cache.GatherRows(rows, dim, feat.V, "gather.feat")
 	} else {
-		pg.Feat.GatherRows(l.Dev, rows, dim, feat.V, "gather.feat")
+		pg.Features().GatherRows(l.Dev, rows, dim, feat.V, "gather.feat")
 	}
 	s.tm.Gather = l.Dev.Now() - t1
 

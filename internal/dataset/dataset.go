@@ -129,12 +129,28 @@ func All() []Spec {
 
 // Dataset is a generated graph with features, labels and splits.
 type Dataset struct {
-	Spec   Spec
-	Graph  *graph.CSR
-	Feat   []float32 // row-major [Nodes x FeatDim]
-	Labels []int32   // -1 for unlabeled nodes
+	Spec  Spec
+	Graph *graph.CSR
+	// Feat is the materialized feature slab, row-major [Nodes x FeatDim].
+	// Out-of-core datasets (GenerateOutOfCore) leave it nil and carry only
+	// Gen; consumers that need rows use FillFeatRow or a paged store.
+	Feat   []float32
+	Gen    *FeatureGen
+	Labels []int32 // -1 for unlabeled nodes
 	// Train, Val and Test hold labeled node IDs.
 	Train, Val, Test []int64
+}
+
+// FillFeatRow writes node v's feature row into dst, from the slab when
+// materialized and from the generator otherwise. Both paths produce
+// bit-identical values: the slab is filled by the same generator.
+func (d *Dataset) FillFeatRow(v int64, dst []float32) {
+	if d.Feat != nil {
+		dim := int64(d.Spec.FeatDim)
+		copy(dst, d.Feat[v*dim:(v+1)*dim])
+		return
+	}
+	d.Gen.FillRow(v, dst)
 }
 
 // Class returns node v's class, which is fixed by construction (v mod C)
@@ -144,6 +160,22 @@ func (s Spec) Class(v int64) int32 { return int32(v % int64(s.NumClasses)) }
 // Generate builds the dataset described by s. Generation is deterministic
 // for a given spec (including seed).
 func Generate(s Spec) (*Dataset, error) {
+	return generate(s, true)
+}
+
+// GenerateOutOfCore builds the dataset without materializing the feature
+// slab: Dataset.Feat stays nil and rows are produced on demand by
+// Dataset.Gen (each row comes from its own hash-seeded stream, so
+// regeneration is O(dim) per row and bit-identical to the slab Generate
+// would have built). Everything else — graph, labels, splits — is
+// byte-identical to Generate: the slab fill never consumes the main RNG.
+// This is what lets ogbn-papers100M run at scale 1.0 (a ~57 GB slab)
+// behind the paged feature store on a single host.
+func GenerateOutOfCore(s Spec) (*Dataset, error) {
+	return generate(s, false)
+}
+
+func generate(s Spec, materialize bool) (*Dataset, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,30 +216,62 @@ func Generate(s Spec) (*Dataset, error) {
 	}
 
 	ds := &Dataset{Spec: s, Graph: csr}
-	ds.generateFeatures(rng)
+	ds.generateFeatures(rng, materialize)
 	ds.generateSplits(rng)
 	return ds, nil
 }
 
-// generateFeatures fills label-correlated features: each class has a random
-// centroid direction and every node is its centroid plus Gaussian noise.
-func (d *Dataset) generateFeatures(rng *rand.Rand) {
-	s := d.Spec
-	dim := s.FeatDim
-	centroids := make([]float32, s.NumClasses*dim)
-	for i := range centroids {
-		centroids[i] = float32(rng.NormFloat64())
+// FeatureGen regenerates any node's label-correlated feature row on
+// demand: each class has a random centroid direction (drawn once from the
+// dataset RNG) and every node is its centroid plus Gaussian noise from the
+// node's own hash-seeded stream. FillRow is deterministic per node and
+// safe for concurrent calls with distinct dst buffers, which makes the
+// generator a featstore.RowSource — the backing for out-of-core datasets.
+type FeatureGen struct {
+	spec      Spec
+	centroids []float32
+}
+
+func newFeatureGen(s Spec, rng *rand.Rand) *FeatureGen {
+	g := &FeatureGen{spec: s, centroids: make([]float32, s.NumClasses*s.FeatDim)}
+	for i := range g.centroids {
+		g.centroids[i] = float32(rng.NormFloat64())
 	}
-	d.Feat = make([]float32, s.Nodes*int64(dim))
+	return g
+}
+
+// NumRows returns the node count (featstore.RowSource).
+func (g *FeatureGen) NumRows() int64 { return g.spec.Nodes }
+
+// Dim returns the feature dimension (featstore.RowSource).
+func (g *FeatureGen) Dim() int { return g.spec.FeatDim }
+
+// FillRow writes node v's feature row into dst[:Dim()].
+func (g *FeatureGen) FillRow(v int64, dst []float32) {
+	s := g.spec
+	dim := s.FeatDim
+	cls := int(s.Class(v))
 	// Per-node noise from a cheap hash-seeded stream keeps generation
 	// deterministic regardless of node order.
+	nr := rand.New(rand.NewSource(s.Seed ^ (v+1)*0x9e3779b9))
+	for j := 0; j < dim; j++ {
+		dst[j] = g.centroids[cls*dim+j] + float32(nr.NormFloat64())*float32(s.NoiseSigma)
+	}
+}
+
+// generateFeatures draws the class centroids (the only feature randomness
+// taken from the shared RNG) and, when materialize is set, fills the slab
+// row by row from the generator.
+func (d *Dataset) generateFeatures(rng *rand.Rand, materialize bool) {
+	s := d.Spec
+	d.Gen = newFeatureGen(s, rng)
+	if !materialize {
+		return
+	}
+	dim := int64(s.FeatDim)
+	d.Feat = make([]float32, s.Nodes*dim)
 	for v := int64(0); v < s.Nodes; v++ {
-		cls := int(s.Class(v))
-		nr := rand.New(rand.NewSource(s.Seed ^ (v+1)*0x9e3779b9))
-		row := d.Feat[v*int64(dim) : (v+1)*int64(dim)]
-		for j := 0; j < dim; j++ {
-			row[j] = centroids[cls*dim+j] + float32(nr.NormFloat64())*float32(s.NoiseSigma)
-		}
+		d.Gen.FillRow(v, d.Feat[v*dim:(v+1)*dim])
 	}
 }
 

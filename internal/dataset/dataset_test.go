@@ -1,7 +1,9 @@
 package dataset
 
 import (
+	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -299,5 +301,118 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	sb.Write([]byte{99, 0, 0, 0})
 	if _, err := Load(strings.NewReader(sb.String())); err == nil {
 		t.Error("wrong version accepted")
+	}
+}
+
+// TestLoadDetectsCorruption: flipping any byte after the version word makes
+// the CRC-32C trailer reject the file.
+func TestLoadDetectsCorruption(t *testing.T) {
+	orig, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.bin"
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{16, len(raw) / 2, len(raw) - 10} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x01
+		_, err := Load(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		}
+		if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "read") {
+			t.Logf("offset %d surfaced as: %v", off, err)
+		}
+	}
+	// Truncation (losing part of the trailer) is also rejected.
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated trailer accepted")
+	}
+}
+
+// TestLoadRejectsV1: pre-checksum files are refused with a clear message
+// instead of being misparsed.
+func TestLoadRejectsV1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("WGDS")
+	buf.Write([]byte{1, 0, 0, 0})
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("v1 file accepted")
+	}
+	if !strings.Contains(err.Error(), "version 1") {
+		t.Errorf("unhelpful v1 error: %v", err)
+	}
+}
+
+// TestOutOfCoreEquivalence: GenerateOutOfCore must agree with Generate on
+// everything — graph, labels, splits byte-identical, and every feature row
+// reproducible on demand bit-exactly.
+func TestOutOfCoreEquivalence(t *testing.T) {
+	spec := smallSpec()
+	full, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooc, err := GenerateOutOfCore(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ooc.Feat != nil {
+		t.Fatal("out-of-core dataset materialized a slab")
+	}
+	if ooc.Gen == nil {
+		t.Fatal("out-of-core dataset has no feature generator")
+	}
+	if ooc.Graph.N != full.Graph.N || ooc.Graph.NumEdges() != full.Graph.NumEdges() {
+		t.Fatal("graph shape differs")
+	}
+	for i := range full.Graph.Col {
+		if ooc.Graph.Col[i] != full.Graph.Col[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range full.Labels {
+		if ooc.Labels[i] != full.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	for i := range full.Train {
+		if ooc.Train[i] != full.Train[i] {
+			t.Fatalf("train split %d differs", i)
+		}
+	}
+	for i := range full.Val {
+		if ooc.Val[i] != full.Val[i] {
+			t.Fatalf("val split %d differs", i)
+		}
+	}
+	dim := spec.FeatDim
+	row := make([]float32, dim)
+	for _, v := range []int64{0, 1, full.Graph.N / 2, full.Graph.N - 1} {
+		ooc.FillFeatRow(v, row)
+		for j := 0; j < dim; j++ {
+			want := full.Feat[v*int64(dim)+int64(j)]
+			if math.Float32bits(row[j]) != math.Float32bits(want) {
+				t.Fatalf("node %d col %d: %g != %g", v, j, row[j], want)
+			}
+		}
+	}
+	// FillFeatRow on the materialized dataset reads the slab.
+	full.FillFeatRow(3, row)
+	for j := 0; j < dim; j++ {
+		if row[j] != full.Feat[3*int64(dim)+int64(j)] {
+			t.Fatal("materialized FillFeatRow diverges from slab")
+		}
+	}
+	// Out-of-core datasets cannot be saved (no slab to write).
+	if err := ooc.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save accepted an out-of-core dataset")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -13,16 +14,66 @@ import (
 
 // Binary dataset serialization, so expensive generations (the larger scale
 // factors take minutes) can be produced once with wggen and reloaded by the
-// harness. Format: a magic string, a JSON-encoded Spec header, then the raw
-// little-endian arrays with length prefixes.
+// harness. Format v2: a magic string, a format version, then a JSON-encoded
+// Spec header and the raw little-endian arrays with length prefixes, all
+// covered by a trailing CRC-32C so a truncated or bit-flipped cache file
+// fails loudly instead of deserializing garbage.
 
 const (
-	ioMagic   = "WGDS"
-	ioVersion = uint32(1)
+	ioMagic = "WGDS"
+	// ioVersion 2 added the CRC-32C trailer; v1 files (no checksum) are
+	// rejected and must be regenerated.
+	ioVersion = uint32(2)
 )
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32Writer wraps a writer and folds everything written into a running
+// CRC-32C. Shared by the dataset format and the feature-store page spill.
+type CRC32Writer struct {
+	w   io.Writer
+	sum uint32
+}
+
+// NewCRC32Writer starts a checksummed section on w.
+func NewCRC32Writer(w io.Writer) *CRC32Writer { return &CRC32Writer{w: w} }
+
+// Write implements io.Writer.
+func (c *CRC32Writer) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crcTable, p[:n])
+	return n, err
+}
+
+// Sum32 returns the checksum of everything written so far.
+func (c *CRC32Writer) Sum32() uint32 { return c.sum }
+
+// CRC32Reader wraps a reader and folds everything read into a running
+// CRC-32C, for verifying a CRC32Writer trailer.
+type CRC32Reader struct {
+	r   io.Reader
+	sum uint32
+}
+
+// NewCRC32Reader starts a checksummed section on r.
+func NewCRC32Reader(r io.Reader) *CRC32Reader { return &CRC32Reader{r: r} }
+
+// Read implements io.Reader.
+func (c *CRC32Reader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crcTable, p[:n])
+	return n, err
+}
+
+// Sum32 returns the checksum of everything read so far.
+func (c *CRC32Reader) Sum32() uint32 { return c.sum }
 
 // Save writes the dataset in the binary format.
 func (d *Dataset) Save(w io.Writer) error {
+	if d.Feat == nil && d.Gen != nil {
+		return fmt.Errorf("dataset: %s is out-of-core (no feature slab); spill its feature store instead of saving", d.Spec.Name)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ioMagic); err != nil {
 		return err
@@ -30,28 +81,33 @@ func (d *Dataset) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, ioVersion); err != nil {
 		return err
 	}
+	cw := NewCRC32Writer(bw)
 	hdr, err := json.Marshal(d.Spec)
 	if err != nil {
 		return fmt.Errorf("dataset: encoding spec: %w", err)
 	}
-	if err := writeBytes(bw, hdr); err != nil {
+	if err := WriteBytes(cw, hdr); err != nil {
 		return err
 	}
 	for _, arr := range [][]int64{d.Graph.RowPtr, d.Graph.Col, d.Train, d.Val, d.Test} {
-		if err := writeSlice(bw, arr); err != nil {
+		if err := WriteSlice(cw, arr); err != nil {
 			return err
 		}
 	}
-	if err := writeSlice(bw, d.Feat); err != nil {
+	if err := WriteSlice(cw, d.Feat); err != nil {
 		return err
 	}
-	if err := writeSlice(bw, d.Labels); err != nil {
+	if err := WriteSlice(cw, d.Labels); err != nil {
+		return err
+	}
+	// Trailer: checksum of everything after the version word.
+	if err := binary.Write(bw, binary.LittleEndian, cw.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// Load reads a dataset written by Save.
+// Load reads a dataset written by Save, verifying the checksum trailer.
 func Load(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(ioMagic))
@@ -65,10 +121,15 @@ func Load(r io.Reader) (*Dataset, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != ioVersion {
+	switch version {
+	case ioVersion:
+	case 1:
+		return nil, fmt.Errorf("dataset: version 1 file predates the checksum trailer; regenerate it with wggen")
+	default:
 		return nil, fmt.Errorf("dataset: unsupported version %d", version)
 	}
-	hdr, err := readBytes(br)
+	cr := NewCRC32Reader(br)
+	hdr, err := ReadBytes(cr)
 	if err != nil {
 		return nil, err
 	}
@@ -77,15 +138,23 @@ func Load(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: decoding spec: %w", err)
 	}
 	for _, arr := range []*[]int64{&d.Graph.RowPtr, &d.Graph.Col, &d.Train, &d.Val, &d.Test} {
-		if *arr, err = readSlice[int64](br); err != nil {
+		if *arr, err = ReadSlice[int64](cr); err != nil {
 			return nil, err
 		}
 	}
-	if d.Feat, err = readSlice[float32](br); err != nil {
+	if d.Feat, err = ReadSlice[float32](cr); err != nil {
 		return nil, err
 	}
-	if d.Labels, err = readSlice[int32](br); err != nil {
+	if d.Labels, err = ReadSlice[int32](cr); err != nil {
 		return nil, err
+	}
+	sum := cr.Sum32()
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("dataset: reading checksum trailer: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("dataset: checksum mismatch (file %08x, computed %08x): corrupt or truncated file", want, sum)
 	}
 	d.Graph.N = int64(len(d.Graph.RowPtr)) - 1
 	if d.Graph.N < 0 || d.Graph.N != d.Spec.Nodes {
@@ -118,7 +187,9 @@ func LoadFile(path string) (*Dataset, error) {
 	return Load(f)
 }
 
-func writeBytes(w io.Writer, b []byte) error {
+// WriteBytes writes a length-prefixed byte block (the format's primitive;
+// exported for the feature-store page spill, which shares the encoding).
+func WriteBytes(w io.Writer, b []byte) error {
 	if err := binary.Write(w, binary.LittleEndian, uint64(len(b))); err != nil {
 		return err
 	}
@@ -126,7 +197,8 @@ func writeBytes(w io.Writer, b []byte) error {
 	return err
 }
 
-func readBytes(r io.Reader) ([]byte, error) {
+// ReadBytes reads a block written by WriteBytes.
+func ReadBytes(r io.Reader) ([]byte, error) {
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
@@ -139,16 +211,19 @@ func readBytes(r io.Reader) ([]byte, error) {
 	return b, err
 }
 
-type ioElem interface{ int64 | int32 | float32 }
+// Elem is the element set the binary format stores.
+type Elem interface{ int64 | int32 | float32 }
 
-func writeSlice[T ioElem](w io.Writer, s []T) error {
+// WriteSlice writes a length-prefixed little-endian array.
+func WriteSlice[T Elem](w io.Writer, s []T) error {
 	if err := binary.Write(w, binary.LittleEndian, uint64(len(s))); err != nil {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, s)
 }
 
-func readSlice[T ioElem](r io.Reader) ([]T, error) {
+// ReadSlice reads an array written by WriteSlice.
+func ReadSlice[T Elem](r io.Reader) ([]T, error) {
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err

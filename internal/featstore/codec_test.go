@@ -1,0 +1,156 @@
+package featstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, rows, dim int) []float32 {
+	m := make([]float32, rows*dim)
+	for i := range m {
+		// Mix magnitudes and signs, with occasional exact zeros and
+		// denormal-ish values, to stress the codecs.
+		switch rng.Intn(8) {
+		case 0:
+			m[i] = 0
+		case 1:
+			m[i] = float32(rng.NormFloat64()) * 1e-20
+		case 2:
+			m[i] = float32(rng.NormFloat64()) * 1e6
+		default:
+			m[i] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestRawRoundtripBitExact: the raw codec must reproduce the source bits
+// exactly, across random shapes including partial and tiny pages.
+func TestRawRoundtripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(40)
+		dim := 1 + rng.Intn(24)
+		src := randMatrix(rng, rows, dim)
+		pg := encodePage(Raw, src, rows, dim)
+		dst := make([]float32, dim)
+		for r := 0; r < rows; r++ {
+			pg.decodeRow(Raw, r, dim, dst)
+			for j := 0; j < dim; j++ {
+				want := src[r*dim+j]
+				if math.Float32bits(dst[j]) != math.Float32bits(want) {
+					t.Fatalf("trial %d row %d col %d: %x != %x",
+						trial, r, j, math.Float32bits(dst[j]), math.Float32bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestFloat16Roundtrip: truncation to the upper 16 bits keeps sign and
+// exponent, bounds relative error by the dropped 7 mantissa bits, and is
+// idempotent (re-encoding a decoded value reproduces it exactly).
+func TestFloat16Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(40)
+		dim := 1 + rng.Intn(24)
+		src := randMatrix(rng, rows, dim)
+		pg := encodePage(Float16, src, rows, dim)
+		dec := make([]float32, rows*dim)
+		for r := 0; r < rows; r++ {
+			pg.decodeRow(Float16, r, dim, dec[r*dim:(r+1)*dim])
+		}
+		for i, want := range src {
+			got := dec[i]
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("zero decoded to %g", got)
+				}
+				continue
+			}
+			rel := math.Abs(float64(got-want)) / math.Abs(float64(want))
+			if rel > 1.0/128 { // 7 mantissa bits dropped: error < 2^-7
+				t.Fatalf("trial %d elem %d: %g -> %g (rel err %g)", trial, i, want, got, rel)
+			}
+		}
+		// Idempotence: encode(decode(x)) == decode(x) bit-exactly.
+		pg2 := encodePage(Float16, dec, rows, dim)
+		dst := make([]float32, dim)
+		for r := 0; r < rows; r++ {
+			pg2.decodeRow(Float16, r, dim, dst)
+			for j := 0; j < dim; j++ {
+				if math.Float32bits(dst[j]) != math.Float32bits(dec[r*dim+j]) {
+					t.Fatalf("f16 re-encode not idempotent at (%d,%d)", r, j)
+				}
+			}
+		}
+	}
+}
+
+// TestQuant8Roundtrip: linear quantization error is bounded by half a step
+// of the page range, and degenerate (constant) pages decode exactly.
+func TestQuant8Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(40)
+		dim := 1 + rng.Intn(24)
+		src := make([]float32, rows*dim)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+		}
+		pg := encodePage(Quant8, src, rows, dim)
+		step := (float64(pg.maxV) - float64(pg.minV)) / 255
+		dst := make([]float32, dim)
+		for r := 0; r < rows; r++ {
+			pg.decodeRow(Quant8, r, dim, dst)
+			for j := 0; j < dim; j++ {
+				diff := math.Abs(float64(dst[j]) - float64(src[r*dim+j]))
+				if diff > step/2+1e-7 {
+					t.Fatalf("trial %d (%d,%d): err %g > half-step %g", trial, r, j, diff, step/2)
+				}
+			}
+		}
+	}
+	// Constant page: scale collapses, everything decodes to the value.
+	src := []float32{2.5, 2.5, 2.5, 2.5}
+	pg := encodePage(Quant8, src, 2, 2)
+	dst := make([]float32, 2)
+	for r := 0; r < 2; r++ {
+		pg.decodeRow(Quant8, r, 2, dst)
+		if dst[0] != 2.5 || dst[1] != 2.5 {
+			t.Fatalf("constant page decoded to %v", dst)
+		}
+	}
+}
+
+// TestZeroRowPage: an empty page encodes and reports zero bytes.
+func TestZeroRowPage(t *testing.T) {
+	for _, enc := range []Encoding{Raw, Float16, Quant8} {
+		pg := encodePage(enc, nil, 0, 16)
+		if len(pg.data) != 0 || pg.rows != 0 {
+			t.Errorf("%v: zero-row page has %d bytes, %d rows", enc, len(pg.data), pg.rows)
+		}
+	}
+}
+
+func TestParseEncoding(t *testing.T) {
+	cases := map[string]Encoding{
+		"raw": Raw, "": Raw, "float32": Raw,
+		"f16": Float16, "float16": Float16, "bf16": Float16,
+		"q8": Quant8, "quant8": Quant8, "int8": Quant8,
+	}
+	for in, want := range cases {
+		got, err := ParseEncoding(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEncoding(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseEncoding("zstd"); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	if Raw.BytesPerElem() != 4 || Float16.BytesPerElem() != 2 || Quant8.BytesPerElem() != 1 {
+		t.Error("wrong encoded element sizes")
+	}
+}

@@ -34,6 +34,11 @@ type Partitioned struct {
 
 	// rowBase[r] is the global feature-row index of rank r's first node.
 	rowBase []int64
+
+	// featSrc serves feature-row gathers: a memFeats adapter over Feat
+	// when the graph was partitioned with a slab, or a paged store
+	// installed with SetFeatures. Nil when the graph has no features.
+	featSrc FeatureSource
 }
 
 // Partition distributes csr and its node features (row-major, feat[dim*i:]
@@ -88,6 +93,7 @@ func PartitionBy(csr *CSR, feat []float32, dim int, comm *wholemem.Comm, ownerOf
 	p.Col = wholemem.AllocSharded[uint64](comm, edgeSizes)
 	if feat != nil {
 		p.Feat = wholemem.AllocSharded[float32](comm, featSizes)
+		p.featSrc = MemFeatures(p.Feat, rows, dim)
 	}
 
 	// Fill each rank's shards in place (host-side construction).

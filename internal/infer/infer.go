@@ -105,7 +105,7 @@ func (sc *rankScratch) ensureChunks(n int) {
 // intermediate embedding tables.
 func NewEngine(store *core.Store, model gnn.LayerwiseModel) (*Engine, error) {
 	pg := store.PG
-	if pg.Feat == nil {
+	if pg.Features() == nil {
 		return nil, fmt.Errorf("infer: store has no node features")
 	}
 	cfg := model.Config()
@@ -163,9 +163,10 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 		e.replicas[r].Params().CopyFrom(e.Model.Params())
 	}
 
-	// Layer 0 reads the stored features; each subsequent layer reads the
-	// shared embedding table the previous layer wrote.
-	cur := pg.Feat
+	// Layer 0 reads the stored features (possibly the paged store); each
+	// subsequent layer reads the shared embedding table the previous layer
+	// wrote, wrapped in the same FeatureSource view.
+	cur := pg.Features()
 	curDim := pg.Dim
 	for l := 0; l < e.Model.NumLayers(); l++ {
 		last := l == e.Model.NumLayers()-1
@@ -210,7 +211,7 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 			out.ScatterRows(dev, outRows, outDim, y.Value.V, "infer.scatter")
 		})
 		sim.Barrier(devs)
-		cur = out
+		cur = graph.MemFeatures(out, pg.N, outDim)
 		curDim = outDim
 	}
 
@@ -218,10 +219,7 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 	res := tensor.New(int(pg.N), curDim)
 	buf := make([]float32, curDim)
 	for v := int64(0); v < pg.N; v++ {
-		row := pg.FeatRow(pg.Owner[v])
-		for j := 0; j < curDim; j++ {
-			buf[j] = cur.Get(row*int64(curDim) + int64(j))
-		}
+		cur.ReadRow(pg.FeatRow(pg.Owner[v]), buf)
 		copy(res.Row(int(v)), buf)
 	}
 	return res, nil
@@ -236,7 +234,7 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 // forward/scatter c, and the first gather overlaps the remaining block
 // builds.
 func (e *Engine) runRankChunked(dev *sim.Device, model gnn.LayerwiseModel, sc *rankScratch,
-	l int, last bool, r int, in *wholemem.Memory[float32], inDim int,
+	l int, last bool, r int, in graph.FeatureSource, inDim int,
 	out *wholemem.Memory[float32], outDim int) {
 	pg := e.Store.PG
 	tp := sc.tape

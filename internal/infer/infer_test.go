@@ -113,6 +113,7 @@ func TestFullGraphErrors(t *testing.T) {
 	}
 	// Featureless store.
 	store.PG.Feat = nil
+	store.PG.SetFeatures(nil)
 	cfg.InDim = ds.Spec.FeatDim
 	if _, err := FullGraph(store, gnn.NewGCN(cfg)); err == nil {
 		t.Error("featureless store accepted")

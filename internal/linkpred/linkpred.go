@@ -66,7 +66,7 @@ type Trainer struct {
 // New builds a link-prediction trainer over the store on dev.
 func New(store *core.Store, dev *sim.Device, opts Options) (*Trainer, error) {
 	opts = opts.normalize()
-	if store.PG.Feat == nil {
+	if store.PG.Features() == nil {
 		return nil, fmt.Errorf("linkpred: store has no node features")
 	}
 	cfg := gnn.Config{

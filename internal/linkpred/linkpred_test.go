@@ -101,6 +101,7 @@ func TestNewRejectsFeaturelessStore(t *testing.T) {
 	s2 := *s
 	pg := *s.PG
 	pg.Feat = nil
+	pg.SetFeatures(nil)
 	s2.PG = &pg
 	if _, err := New(&s2, m.Devs[0], Options{}); err == nil {
 		t.Error("featureless store accepted")

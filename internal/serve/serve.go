@@ -190,7 +190,7 @@ func New(m *sim.Machine, node int, ds *dataset.Dataset, model gnn.LayerwiseModel
 	if err != nil {
 		return nil, err
 	}
-	if store.PG.Feat == nil {
+	if store.PG.Features() == nil {
 		return nil, fmt.Errorf("serve: store has no node features")
 	}
 	cfg := model.Config()

@@ -23,6 +23,7 @@ import (
 	"wholegraph/internal/cache"
 	"wholegraph/internal/core"
 	"wholegraph/internal/dataset"
+	"wholegraph/internal/featstore"
 	"wholegraph/internal/gnn"
 	"wholegraph/internal/nn"
 	"wholegraph/internal/sim"
@@ -89,6 +90,21 @@ type Options struct {
 	// packed into one bucket until it holds at least this many gradient
 	// bytes. 0 takes the 256 KiB default.
 	BucketBytes int
+	// PagedFeatures serves node features from the paged, compressed
+	// feature store (internal/featstore) instead of the flat wholemem
+	// slab: rows decode out of per-GPU LRU BlockCaches and page misses pay
+	// the Unified-Memory fault cost on the copy stream. With the raw
+	// encoding losses are bit-identical to the slab path; f16/q8 are
+	// lossy and opt-in. Required for out-of-core datasets
+	// (dataset.GenerateOutOfCore), whose slab was never materialized.
+	PagedFeatures bool
+	// FeatEncoding selects the page codec ("raw", "f16", "q8"; default
+	// raw). Only meaningful with PagedFeatures.
+	FeatEncoding string
+	// FeatPageRows is the paged store's rows-per-page (0 = 256).
+	FeatPageRows int
+	// FeatCacheMB is each GPU's BlockCache budget in MiB (0 = 256).
+	FeatCacheMB int
 }
 
 // Normalize fills defaults (paper's §IV settings scaled only where the
@@ -194,9 +210,26 @@ type Trainer struct {
 // worker, charging the one-time fill.
 func New(m *sim.Machine, ds *dataset.Dataset, opts Options) (*Trainer, error) {
 	opts = opts.Normalize()
+	if ds.Feat == nil && ds.Gen != nil && !opts.PagedFeatures {
+		return nil, fmt.Errorf("train: %s is out-of-core; set Options.PagedFeatures", ds.Spec.Name)
+	}
 	var stores []*core.Store
 	for n := 0; n < m.Cfg.Nodes; n++ {
-		s, err := core.NewStore(m, n, ds)
+		var s *core.Store
+		var err error
+		if opts.PagedFeatures {
+			enc, encErr := featstore.ParseEncoding(opts.FeatEncoding)
+			if encErr != nil {
+				return nil, encErr
+			}
+			s, err = core.NewStorePaged(m, n, ds, featstore.Options{
+				Encoding:   enc,
+				PageRows:   opts.FeatPageRows,
+				CacheBytes: int64(opts.FeatCacheMB) << 20,
+			})
+		} else {
+			s, err = core.NewStore(m, n, ds)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -636,4 +669,37 @@ func (t *Trainer) CacheStats() (hits, misses int64) {
 		misses += c.Misses
 	}
 	return hits, misses
+}
+
+// FeatStores returns the paged feature stores behind the trainer's stores
+// (one per machine node); empty unless Options.PagedFeatures was set.
+func (t *Trainer) FeatStores() []*featstore.Store {
+	var out []*featstore.Store
+	for _, s := range t.Stores {
+		if fs := s.FeatStore(); fs != nil {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// FeatStoreStats aggregates BlockCache counters across every paged store.
+// The zero Stats is returned when the trainer is not paged.
+func (t *Trainer) FeatStoreStats() featstore.Stats {
+	var agg featstore.Stats
+	for _, fs := range t.FeatStores() {
+		st := fs.Stats()
+		if agg.Encoding == "" {
+			agg.Encoding, agg.PageRows = st.Encoding, st.PageRows
+		}
+		agg.Pages += st.Pages
+		agg.EncodedBytes += st.EncodedBytes
+		agg.CacheBytes += st.CacheBytes
+		agg.Devices += st.Devices
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.ResidentBytes += st.ResidentBytes
+	}
+	return agg
 }

@@ -214,3 +214,108 @@ func TestWeightedDatasetTrains(t *testing.T) {
 		t.Error("no gather time recorded")
 	}
 }
+
+// TestPagedRawBitIdentical: training through the paged feature store with
+// the raw encoding must reproduce the flat-slab run bit-for-bit — losses
+// and accuracies identical across epochs, including with real parallel
+// workers. This is the tentpole equivalence guarantee: paging is a memory
+// optimization, not a numerics change.
+func TestPagedRawBitIdentical(t *testing.T) {
+	ds := smallDataset(t)
+	run := func(opts Options) []EpochStats {
+		m := sim.NewMachine(sim.DGXA100(1))
+		tr, err := New(m, ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []EpochStats
+		for e := 0; e < 2; e++ {
+			out = append(out, tr.RunEpoch())
+		}
+		return out
+	}
+	base := run(smallOpts("graphsage"))
+
+	paged := smallOpts("graphsage")
+	paged.PagedFeatures = true
+	paged.FeatPageRows = 64
+	paged.FeatCacheMB = 1
+	got := run(paged)
+	for e := range base {
+		if got[e].Loss != base[e].Loss || got[e].TrainAcc != base[e].TrainAcc {
+			t.Errorf("epoch %d: paged raw (loss %v acc %v) != flat (loss %v acc %v)",
+				e, got[e].Loss, got[e].TrainAcc, base[e].Loss, base[e].TrainAcc)
+		}
+	}
+
+	// With real parallel workers (which reorder batches across devices,
+	// changing numerics identically for both feature paths), paged and
+	// flat must still agree bit-for-bit with each other.
+	basePar := smallOpts("graphsage")
+	basePar.RealWorkers = 4
+	flatPar := run(basePar)
+	par := paged
+	par.RealWorkers = 4
+	gotPar := run(par)
+	for e := range flatPar {
+		if gotPar[e].Loss != flatPar[e].Loss {
+			t.Errorf("epoch %d: parallel paged loss %v != parallel flat %v", e, gotPar[e].Loss, flatPar[e].Loss)
+		}
+	}
+}
+
+// TestPagedLossyTrains: lossy encodings are opt-in and must still learn;
+// stats plumbing reports the encoding and cache activity.
+func TestPagedLossyTrains(t *testing.T) {
+	ds := smallDataset(t)
+	for _, enc := range []string{"f16", "q8"} {
+		m := sim.NewMachine(sim.DGXA100(1))
+		opts := smallOpts("graphsage")
+		opts.PagedFeatures = true
+		opts.FeatEncoding = enc
+		opts.FeatPageRows = 64
+		tr, err := New(m, ds, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		first := tr.RunEpoch()
+		var last EpochStats
+		for e := 0; e < 5; e++ {
+			last = tr.RunEpoch()
+		}
+		if !(last.Loss < first.Loss) {
+			t.Errorf("%s: loss did not improve (%v -> %v)", enc, first.Loss, last.Loss)
+		}
+		st := tr.FeatStoreStats()
+		if st.Encoding != enc {
+			t.Errorf("stats encoding %q, want %q", st.Encoding, enc)
+		}
+		if st.Hits+st.Misses == 0 {
+			t.Errorf("%s: no page lookups recorded", enc)
+		}
+	}
+}
+
+// TestOutOfCoreRequiresPaged: a dataset without a feature slab is rejected
+// unless the paged store is enabled, and trains once it is.
+func TestOutOfCoreRequiresPaged(t *testing.T) {
+	ds, err := dataset.GenerateOutOfCore(dataset.OgbnProducts.Scaled(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(sim.DGXA100(1))
+	if _, err := New(m, ds, smallOpts("graphsage")); err == nil {
+		t.Fatal("out-of-core dataset accepted without PagedFeatures")
+	}
+	opts := smallOpts("graphsage")
+	opts.PagedFeatures = true
+	opts.FeatPageRows = 64
+	tr, err := New(sim.NewMachine(sim.DGXA100(1)), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.RunEpoch()
+	if st.Iters == 0 || st.EpochTime <= 0 {
+		t.Errorf("out-of-core epoch did not run: %+v", st)
+	}
+}

@@ -18,11 +18,18 @@
 #   BENCH_graph.json — the step capture/replay ablation (wgbench -exp
 #     abl-graph): eager vs graph-replay epoch times, measured host ns and
 #     allocations per iteration, capture/replay counts, loss bit-identity.
+#   BENCH_featstore.json — the out-of-core headline (wgbench -exp
+#     featstore-full -scale 1.0): the papers100M-shaped graph trained
+#     end-to-end through the paged feature store at full scale — virtual
+#     epoch time, BlockCache hit rate, encoded/resident bytes, and host
+#     RSS vs the ~53 GiB flat slab it avoids. Takes a few minutes of wall
+#     clock; the flat-vs-paged ablation (abl-featstore) runs in CI and
+#     its numbers live in EXPERIMENTS.md.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json]]]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json]]]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,6 +38,7 @@ PIPE_OUT="${2:-BENCH_pipeline.json}"
 SERVE_OUT="${3:-BENCH_serving.json}"
 COMMS_OUT="${4:-BENCH_comms.json}"
 GRAPH_OUT="${5:-BENCH_graph.json}"
+FEAT_OUT="${6:-BENCH_featstore.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -105,3 +113,6 @@ echo "wrote $COMMS_OUT"
 
 go run ./cmd/wgbench -exp abl-graph -json "$GRAPH_OUT"
 echo "wrote $GRAPH_OUT"
+
+go run ./cmd/wgbench -exp featstore-full -scale 1.0 -json "$FEAT_OUT"
+echo "wrote $FEAT_OUT"

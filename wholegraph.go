@@ -117,6 +117,13 @@ var (
 // GenerateDataset builds the synthetic dataset described by spec.
 func GenerateDataset(spec DatasetSpec) (*Dataset, error) { return dataset.Generate(spec) }
 
+// GenerateDatasetOutOfCore builds the same dataset without materializing
+// the feature slab: rows are generated on demand, bit-identical to the
+// in-core slab. Training such a dataset requires TrainOptions.PagedFeatures.
+func GenerateDatasetOutOfCore(spec DatasetSpec) (*Dataset, error) {
+	return dataset.GenerateOutOfCore(spec)
+}
+
 // LoadDataset reads a dataset saved with Dataset.SaveFile (or wggen -save).
 func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
 
