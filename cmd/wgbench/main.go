@@ -61,7 +61,8 @@ var experiments = []struct {
 	{"abl-overlap-grads", "ablation: bucketed gradient AllReduce overlapped with backward", wrap(bench.AblationOverlapGrads)},
 	{"abl-graph", "ablation: step capture/replay vs eager per-kernel dispatch", wrap(bench.AblationGraph)},
 	{"abl-featstore", "ablation: flat slab vs paged+encoded out-of-core feature store", wrap(bench.AblationFeatstore)},
-	{"featstore-full", "out-of-core papers100M: paged features at full scale", wrap(bench.FeatstoreFull)},
+	{"abl-oocgraph", "ablation: in-RAM CSR vs paged topology with prefetch and admission", wrap(bench.AblationOOCGraph)},
+	{"featstore-full", "out-of-core papers100M: paged features and topology at full scale", wrap(bench.FeatstoreFull)},
 	{"analytics", "PageRank and connected components over the shared store", wrap(bench.Analytics)},
 	{"graphclass", "graph classification: GIN on topology motifs", wrap(bench.GraphClass)},
 	{"serving", "online serving: dynamic batching vs batch=1", wrap(bench.Serving)},
@@ -88,14 +89,14 @@ type jsonReport struct {
 	CaptureG    bool             `json:"capture_graph"`
 	PagedFeat   bool             `json:"paged_features"`
 	FeatEnc     string           `json:"feat_encoding,omitempty"`
+	PagedTopo   bool             `json:"paged_topo"`
+	PrefetchPgs int              `json:"prefetch_pages,omitempty"`
+	CachePolicy string           `json:"cache_policy,omitempty"`
 	CacheHits   int64            `json:"cache_hits"`
 	CacheMisses int64            `json:"cache_misses"`
 	CacheHit    float64          `json:"cache_hit_rate"`
-	FeatHits    int64            `json:"featstore_hits"`
-	FeatMisses  int64            `json:"featstore_misses"`
-	FeatHit     float64          `json:"featstore_hit_rate"`
-	FeatEvicts  int64            `json:"featstore_evictions"`
-	FeatResB    int64            `json:"featstore_resident_bytes"`
+	FeatStore   *jsonStore       `json:"featstore,omitempty"`
+	TopoStore   *jsonStore       `json:"topostore,omitempty"`
 	NVLinkTxGB  float64          `json:"nvlink_tx_gb"`
 	IBTxGB      float64          `json:"ib_tx_gb"`
 	CommSeconds float64          `json:"comm_seconds"`
@@ -103,6 +104,13 @@ type jsonReport struct {
 	StartedAt   time.Time        `json:"started_at"`
 	WallSeconds float64          `json:"wall_seconds"`
 	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// jsonStore is the aggregate BlockCache accounting for one paged-store kind
+// (features or topology) across every trainer the run built.
+type jsonStore struct {
+	bench.StoreCounters
+	HitRate float64 `json:"hit_rate"`
 }
 
 type jsonExperiment struct {
@@ -128,6 +136,11 @@ func main() {
 		featEnc    = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
 		featPgRows = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
 		featCache  = flag.Int("feat-cache-mb", 0, "paged-store per-device BlockCache budget in MiB (0 = default)")
+		pagedT     = flag.Bool("paged-topo", false, "serve the CSR column array from the paged topology store (bit-identical sampling)")
+		topoPgEdge = flag.Int("topo-page-edges", 0, "topology-store column entries per page (0 = default)")
+		topoCache  = flag.Int("topo-cache-mb", 0, "topology-store per-device BlockCache budget in MiB (0 = default)")
+		prefetchPg = flag.Int("prefetch-pages", 0, "fault-prefetch up to this many predicted pages per paged store ahead of each batch (0 = off)")
+		cachePol   = flag.String("cache-policy", "", "paged-store BlockCache policy: lru (default) or admit (frequency-aware admission)")
 		jsonPath   = flag.String("json", "", "also write machine-readable results to this path")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this path")
@@ -148,6 +161,8 @@ func main() {
 		OverlapGrads: *overlapG, CaptureGraph: *captureG,
 		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
 		FeatPageRows: *featPgRows, FeatCacheMB: *featCache,
+		PagedTopo: *pagedT, TopoPageEdges: *topoPgEdge, TopoCacheMB: *topoCache,
+		PrefetchPages: *prefetchPg, CachePolicy: *cachePol,
 		W: os.Stdout,
 	}
 	want := map[string]bool{}
@@ -159,6 +174,7 @@ func main() {
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
 		OverlapG: *overlapG, CaptureG: *captureG,
 		PagedFeat: *pagedF, FeatEnc: *featEnc,
+		PagedTopo: *pagedT, PrefetchPgs: *prefetchPg, CachePolicy: *cachePol,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
 	}
 	if *cpuProf != "" {
@@ -218,12 +234,17 @@ func main() {
 		fmt.Printf("feature cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*report.CacheHit)
 	}
-	if hits, misses, evicts, resident := bench.FeatStoreCounters(); hits+misses > 0 {
-		report.FeatHits, report.FeatMisses = hits, misses
-		report.FeatHit = float64(hits) / float64(hits+misses)
-		report.FeatEvicts, report.FeatResB = evicts, resident
-		fmt.Printf("feature store: %d page hits / %d misses (%.1f%% hit rate), %d evictions, %.1f MiB resident\n",
-			hits, misses, 100*report.FeatHit, evicts, float64(resident)/(1<<20))
+	if c := bench.FeatStoreCounters(); c.Hits+c.Misses > 0 {
+		report.FeatStore = &jsonStore{StoreCounters: c, HitRate: c.HitRate()}
+		fmt.Printf("feature store: %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident\n",
+			c.Hits, c.Misses, 100*c.HitRate(), c.Evictions,
+			c.PrefetchHits, c.AdmissionRejects, float64(c.ResidentBytes)/(1<<20))
+	}
+	if c := bench.TopoStoreCounters(); c.Hits+c.Misses > 0 {
+		report.TopoStore = &jsonStore{StoreCounters: c, HitRate: c.HitRate()}
+		fmt.Printf("topology store: %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident\n",
+			c.Hits, c.Misses, 100*c.HitRate(), c.Evictions,
+			c.PrefetchHits, c.AdmissionRejects, float64(c.ResidentBytes)/(1<<20))
 	}
 	if nvlink, ib, comm := bench.CommCounters(); comm > 0 {
 		report.NVLinkTxGB = nvlink / 1e9

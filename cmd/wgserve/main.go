@@ -42,6 +42,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed (fixes arrivals, nodes and sampling)")
 		jsonPath  = flag.String("json", "", "write the aggregated result as JSON to this path")
 		trace     = flag.Bool("trace", false, "print the per-request trace")
+		pagedF    = flag.Bool("paged-features", false, "serve features from the out-of-core paged store (bit-identical with raw encoding)")
+		featEnc   = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
+		featRows  = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
+		featCache = flag.Int("feat-cache-mb", 0, "paged-store per-device BlockCache budget in MiB (0 = default)")
+		cachePol  = flag.String("cache-policy", "", "paged-store BlockCache policy: lru (default) or admit (frequency-aware admission)")
 	)
 	flag.Parse()
 
@@ -77,6 +82,8 @@ func main() {
 		MaxDelay: *maxDelay, SLO: *slo, Deadline: *deadline,
 		QueueCap: *queueCap, CacheRows: *cacheRows, Fanouts: fanouts,
 		Skew: *skew, Policy: wholegraph.ServePolicy(*policy), Seed: *seed,
+		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
+		FeatPageRows: *featRows, FeatCacheMB: *featCache, CachePolicy: *cachePol,
 	})
 	if err != nil {
 		fatal(err)
@@ -118,6 +125,13 @@ func main() {
 			line += fmt.Sprintf(", cache hit %.0f%%", 100*st.CacheHitRate)
 		}
 		fmt.Println(line)
+	}
+
+	if fst := srv.FeatStoreStats(); fst.Hits+fst.Misses > 0 {
+		fmt.Printf("feature store (%s, %d rows/page, %s): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident of %.1f MiB budget\n",
+			fst.Encoding, fst.PageRows, fst.Policy, fst.Hits, fst.Misses, 100*fst.HitRate(),
+			fst.Evictions, fst.PrefetchHits, fst.AdmissionRejects,
+			float64(fst.ResidentBytes)/(1<<20), float64(fst.CacheBytes)/(1<<20))
 	}
 
 	if *jsonPath != "" {

@@ -44,7 +44,12 @@ func main() {
 		featEnc   = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
 		featRows  = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
 		featCache = flag.Int("feat-cache-mb", 0, "paged-store per-device BlockCache budget in MiB (0 = default)")
-		outOfCore = flag.Bool("out-of-core", false, "generate the dataset without a feature slab (implies -paged-features)")
+		pagedT    = flag.Bool("paged-topo", false, "serve the CSR column array from the paged topology store (WholeGraph only; bit-identical sampling)")
+		topoEdges = flag.Int("topo-page-edges", 0, "topology-store column entries per page (0 = default)")
+		topoCache = flag.Int("topo-cache-mb", 0, "topology-store per-device BlockCache budget in MiB (0 = default)")
+		prefetchP = flag.Int("prefetch-pages", 0, "fault-prefetch up to this many predicted pages per paged store ahead of each batch (0 = off)")
+		cachePol  = flag.String("cache-policy", "", "paged-store BlockCache policy: lru (default) or admit (frequency-aware admission)")
+		outOfCore = flag.Bool("out-of-core", false, "generate the dataset without materializing features or topology (implies -paged-features and -paged-topo)")
 		traceOut  = flag.String("trace-out", "", "write worker 0's device timeline as a Chrome trace JSON")
 		fullInfer = flag.Bool("full-infer", false, "run full-graph layer-wise inference after training (WholeGraph only)")
 		saveModel = flag.String("save-model", "", "write the trained model's parameters to a checkpoint file")
@@ -73,6 +78,7 @@ func main() {
 		fmt.Printf("generating %s at scale %g...\n", *dsName, *scale)
 		if *outOfCore {
 			*pagedF = true
+			*pagedT = true
 			ds, err = wholegraph.GenerateDatasetOutOfCore(spec)
 		} else {
 			ds, err = wholegraph.GenerateDataset(spec)
@@ -81,8 +87,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("graph: %d nodes, %d stored edges, %d train / %d val / %d test\n",
-		ds.Graph.N, ds.Graph.NumEdges(), len(ds.Train), len(ds.Val), len(ds.Test))
+	if ds.Graph != nil {
+		fmt.Printf("graph: %d nodes, %d stored edges, %d train / %d val / %d test\n",
+			ds.Graph.N, ds.Graph.NumEdges(), len(ds.Train), len(ds.Val), len(ds.Test))
+	} else {
+		fmt.Printf("graph: %d nodes, %d stored edges (out-of-core edge source), %d train / %d val / %d test\n",
+			ds.Spec.Nodes, ds.Topo.NumEdges(), len(ds.Train), len(ds.Val), len(ds.Test))
+	}
 
 	machine := wholegraph.NewDGXA100(*nodes)
 	opts := wholegraph.TrainOptions{
@@ -92,6 +103,8 @@ func main() {
 		CaptureGraph:  *captureG,
 		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
 		FeatPageRows: *featRows, FeatCacheMB: *featCache,
+		PagedTopo: *pagedT, TopoPageEdges: *topoEdges, TopoCacheMB: *topoCache,
+		PrefetchPages: *prefetchP, CachePolicy: *cachePol,
 	}
 	opts.Trace = *traceOut != ""
 	var trainer *wholegraph.Trainer
@@ -137,9 +150,16 @@ func main() {
 			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
 	if fst := trainer.FeatStoreStats(); fst.Hits+fst.Misses > 0 {
-		fmt.Printf("feature store (%s, %d rows/page): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %.1f MiB resident of %.1f MiB budget\n",
-			fst.Encoding, fst.PageRows, fst.Hits, fst.Misses, 100*fst.HitRate(),
-			fst.Evictions, float64(fst.ResidentBytes)/(1<<20), float64(fst.CacheBytes)/(1<<20))
+		fmt.Printf("feature store (%s, %d rows/page, %s): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident of %.1f MiB budget\n",
+			fst.Encoding, fst.PageRows, fst.Policy, fst.Hits, fst.Misses, 100*fst.HitRate(),
+			fst.Evictions, fst.PrefetchHits, fst.AdmissionRejects,
+			float64(fst.ResidentBytes)/(1<<20), float64(fst.CacheBytes)/(1<<20))
+	}
+	if tst := trainer.TopoStoreStats(); tst.Hits+tst.Misses > 0 {
+		fmt.Printf("topology store (%d edges/page, %s): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident of %.1f MiB budget\n",
+			tst.PageEdges, tst.Policy, tst.Hits, tst.Misses, 100*tst.HitRate(),
+			tst.Evictions, tst.PrefetchHits, tst.AdmissionRejects,
+			float64(tst.ResidentBytes)/(1<<20), float64(tst.CacheBytes)/(1<<20))
 	}
 	if *fullInfer {
 		if len(trainer.Stores) == 0 {

@@ -37,6 +37,9 @@ func PageRank(pg *graph.Partitioned, d float64, tol float64, maxIter int) (*Page
 	if d <= 0 || d >= 1 {
 		return nil, fmt.Errorf("analytics: damping %g outside (0,1)", d)
 	}
+	if pg.PagedTopo() != nil {
+		return nil, fmt.Errorf("analytics: PageRank sweeps whole edge shards and requires a materialized column array (not the paged topology store)")
+	}
 	comm := pg.Comm
 	devs := comm.Devs
 	n := pg.N
@@ -147,6 +150,9 @@ type CCResult struct {
 // deterministic-parallel ownership model (internal/sim/exec.go) requires
 // shared state to be frozen between barriers.
 func ConnectedComponents(pg *graph.Partitioned, maxIter int) (*CCResult, error) {
+	if pg.PagedTopo() != nil {
+		return nil, fmt.Errorf("analytics: connected components sweeps whole edge shards and requires a materialized column array (not the paged topology store)")
+	}
 	comm := pg.Comm
 	devs := comm.Devs
 	n := pg.N

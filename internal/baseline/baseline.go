@@ -12,6 +12,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math/rand"
 
 	"wholegraph/internal/core"
@@ -174,6 +175,9 @@ func (l *HostLoader) BuildBatch(targets []int64) (*gnn.Batch, core.Timing) {
 // primary CPU, keeping single-worker virtual times identical to earlier
 // revisions.
 func New(m *sim.Machine, ds *dataset.Dataset, opts train.Options, flavor Flavor) (*train.Trainer, error) {
+	if ds.Graph == nil {
+		return nil, fmt.Errorf("baseline: %s is out-of-core (no materialized CSR); the host-memory baselines sample from an in-RAM graph", ds.Spec.Name)
+	}
 	if flavor == DGL {
 		opts.Backend = spops.BackendDGL
 	} else {

@@ -71,6 +71,23 @@ type Config struct {
 	FeatPageRows int
 	// FeatCacheMB is each device's BlockCache budget in MiB (0 = default).
 	FeatCacheMB int
+	// PagedTopo routes every WholeGraph trainer's CSR column array through
+	// the paged topology store (see train.Options.PagedTopo): sampling
+	// reads neighbors through page-aware accessors, bit-identical to the
+	// in-memory CSR.
+	PagedTopo bool
+	// TopoPageEdges is the column entries per topology page (0 = default).
+	TopoPageEdges int
+	// TopoCacheMB is each device's topology BlockCache budget in MiB
+	// (0 = default).
+	TopoCacheMB int
+	// PrefetchPages > 0 has each worker fault-prefetch up to that many
+	// predicted pages per paged store ahead of compute (see
+	// train.Options.PrefetchPages).
+	PrefetchPages int
+	// CachePolicy is the BlockCache replacement policy for both paged
+	// stores: "lru" (default) or "admit".
+	CachePolicy string
 	// W receives the human-readable report (nil = io.Discard).
 	W io.Writer
 }
@@ -109,6 +126,9 @@ func (c Config) trainOpts(arch string) train.Options {
 		CaptureGraph:  c.CaptureGraph,
 		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
 		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
+		PagedTopo: c.PagedTopo, TopoPageEdges: c.TopoPageEdges,
+		TopoCacheMB:   c.TopoCacheMB,
+		PrefetchPages: c.PrefetchPages, CachePolicy: c.CachePolicy,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -133,6 +153,9 @@ func (c Config) accuracyOpts(arch string) train.Options {
 		CaptureGraph:  c.CaptureGraph,
 		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
 		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
+		PagedTopo: c.PagedTopo, TopoPageEdges: c.TopoPageEdges,
+		TopoCacheMB:   c.TopoCacheMB,
+		PrefetchPages: c.PrefetchPages, CachePolicy: c.CachePolicy,
 	}
 	if c.Quick {
 		o.Batch = 64
@@ -242,6 +265,7 @@ func newTrainer(fw Framework, nodes int, ds *dataset.Dataset, opts train.Options
 		if err == nil {
 			registerCaches(tr.Caches())
 			registerFeatStores(tr.FeatStores())
+			registerTopoStores(tr.TopoStores())
 		}
 	default:
 		err = fmt.Errorf("bench: unknown framework %q", fw)

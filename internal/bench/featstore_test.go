@@ -57,12 +57,20 @@ func TestFeatstoreFull(t *testing.T) {
 	if res.FlatSlabBytes != res.Nodes*128*4 {
 		t.Errorf("flat slab %d for %d nodes", res.FlatSlabBytes, res.Nodes)
 	}
-	// At test scale no cap triggers; the fields must still be coherent.
-	if res.EdgesCapped && res.EdgesRun >= res.EdgesRequested {
-		t.Errorf("cap reported but edges not reduced: %+v", res)
+	// Nothing is capped: the edge source realizes ~2x the requested pairs
+	// as directed CSR entries (probabilistic degree rounding moves it a
+	// little), and the paged topology store serves all of them.
+	if res.EdgesStored < res.EdgesRequested || res.EdgesStored > res.EdgesRequested*3 {
+		t.Errorf("stored edges %d implausible for %d requested pairs", res.EdgesStored, res.EdgesRequested)
 	}
-	if !res.EdgesCapped && res.EdgesRun != res.EdgesRequested {
-		t.Errorf("no cap but edges differ: %+v", res)
+	if res.TopoBytes != res.EdgesStored*8 {
+		t.Errorf("topo bytes %d, want %d", res.TopoBytes, res.EdgesStored*8)
+	}
+	if res.TopoHitRate <= 0 || res.TopoHitRate > 1 {
+		t.Errorf("topo hit rate %v out of range", res.TopoHitRate)
+	}
+	if res.TopoResidentBytes > res.TopoCacheBytes {
+		t.Errorf("topo resident %d over budget %d", res.TopoResidentBytes, res.TopoCacheBytes)
 	}
 }
 

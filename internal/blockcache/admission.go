@@ -1,0 +1,75 @@
+package blockcache
+
+// freqSketch is a small count-min sketch with periodic aging, the
+// frequency estimator behind PolicyAdmit (the TinyLFU construction:
+// 4 hash rows of 4-bit-saturating counters, halved every sampleSize
+// recordings so estimates track *recent* popularity rather than all of
+// history). It is owned by a BlockCache and guarded by the cache mutex.
+type freqSketch struct {
+	rows    [sketchRows][]uint8
+	mask    uint32
+	adds    int
+	samples int
+}
+
+const (
+	sketchRows  = 4
+	sketchWidth = 1 << 13 // counters per row; 32 KiB total
+	sketchMax   = 15      // 4-bit saturation, so halving always loses mass
+)
+
+// Per-row multiplicative hash constants (odd, high-entropy).
+var sketchSeeds = [sketchRows]uint32{0x9e3779b1, 0x85ebca77, 0xc2b2ae3d, 0x27d4eb2f}
+
+func newFreqSketch() *freqSketch {
+	s := &freqSketch{mask: sketchWidth - 1, samples: sketchWidth * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, sketchWidth)
+	}
+	return s
+}
+
+func (s *freqSketch) slot(row int, id int32) uint32 {
+	h := (uint32(id) + 1) * sketchSeeds[row]
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	return h & s.mask
+}
+
+// record notes one access to page id.
+func (s *freqSketch) record(id int32) {
+	for i := 0; i < sketchRows; i++ {
+		j := s.slot(i, id)
+		if s.rows[i][j] < sketchMax {
+			s.rows[i][j]++
+		}
+	}
+	s.adds++
+	if s.adds >= s.samples {
+		s.age()
+	}
+}
+
+// estimate returns the (conservative, min-over-rows) access frequency of
+// page id within the current aging window.
+func (s *freqSketch) estimate(id int32) uint32 {
+	min := uint32(sketchMax + 1)
+	for i := 0; i < sketchRows; i++ {
+		if v := uint32(s.rows[i][s.slot(i, id)]); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// age halves every counter, decaying stale popularity.
+func (s *freqSketch) age() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+	s.adds = 0
+}

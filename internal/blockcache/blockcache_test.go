@@ -1,37 +1,40 @@
-package featstore
+package blockcache
 
 import (
 	"sync"
 	"testing"
 )
 
-func testPage(bytes int) *page {
-	return &page{data: make([]byte, bytes), rows: 1}
-}
+// testBlock mirrors the stores' pages: payload bytes plus 8 of metadata.
+type testBlock struct{ payload int64 }
+
+func (b testBlock) CacheBytes() int64 { return b.payload + 8 }
+
+func testPage(bytes int) Block { return testBlock{int64(bytes)} }
 
 func TestBlockCacheLRU(t *testing.T) {
 	// Each page costs 100 data bytes + 8 metadata; capacity fits 3.
 	c := NewBlockCache(330)
 	for id := int32(0); id < 3; id++ {
-		if c.get(id) != nil {
+		if c.Get(id) != nil {
 			t.Fatalf("page %d resident before put", id)
 		}
-		c.put(id, testPage(100))
+		c.Put(id, testPage(100))
 	}
 	st := c.Stats()
 	if st.ResidentPages != 3 || st.Misses != 3 || st.Hits != 0 || st.Evictions != 0 {
 		t.Fatalf("after fill: %+v", st)
 	}
 	// Touch 0 so 1 becomes LRU; inserting 3 must evict 1.
-	if c.get(0) == nil {
+	if c.Get(0) == nil {
 		t.Fatal("page 0 missing")
 	}
-	c.put(3, testPage(100))
-	if c.get(1) != nil {
+	c.Put(3, testPage(100))
+	if c.Get(1) != nil {
 		t.Error("LRU page 1 not evicted")
 	}
 	for _, id := range []int32{0, 2, 3} {
-		if c.get(id) == nil {
+		if c.Get(id) == nil {
 			t.Errorf("page %d evicted unexpectedly", id)
 		}
 	}
@@ -48,12 +51,12 @@ func TestBlockCacheLRU(t *testing.T) {
 // (gathers must proceed) and evicts everything else.
 func TestBlockCacheOversizedPage(t *testing.T) {
 	c := NewBlockCache(200)
-	c.put(0, testPage(100))
-	c.put(1, testPage(500))
-	if c.get(1) == nil {
+	c.Put(0, testPage(100))
+	c.Put(1, testPage(500))
+	if c.Get(1) == nil {
 		t.Error("oversized page not admitted")
 	}
-	if c.get(0) != nil {
+	if c.Get(0) != nil {
 		t.Error("page 0 survived an over-budget insert")
 	}
 }
@@ -62,8 +65,8 @@ func TestBlockCacheOversizedPage(t *testing.T) {
 // resident copy and does not double-count bytes.
 func TestBlockCacheDoublePut(t *testing.T) {
 	c := NewBlockCache(1000)
-	c.put(7, testPage(100))
-	c.put(7, testPage(100))
+	c.Put(7, testPage(100))
+	c.Put(7, testPage(100))
 	st := c.Stats()
 	if st.ResidentPages != 1 || st.ResidentBytes != 108 {
 		t.Errorf("double put: %+v", st)
@@ -90,8 +93,8 @@ func TestBlockCacheConcurrent(t *testing.T) {
 			for i := 0; i < ops; i++ {
 				x = x*6364136223846793005 + 1442695040888963407
 				id := int32(x % pages)
-				if c.get(id) == nil {
-					c.put(id, testPage(100))
+				if c.Get(id) == nil {
+					c.Put(id, testPage(100))
 				}
 			}
 		}(int64(w))

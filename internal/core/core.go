@@ -19,6 +19,7 @@ import (
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
 	"wholegraph/internal/tensor"
+	"wholegraph/internal/topostore"
 	"wholegraph/internal/unique"
 	"wholegraph/internal/wholemem"
 )
@@ -35,20 +36,81 @@ type Store struct {
 	PG      *graph.Partitioned
 }
 
+// StoreOptions selects the storage backend per table: the flat resident
+// layout (defaults), the paged feature store, and/or the paged topology
+// store. Out-of-core datasets (GenerateOutOfCore: no CSR, no slab)
+// require both paged backends.
+type StoreOptions struct {
+	// PagedFeatures serves node features from internal/featstore
+	// (configured by Feat) instead of a resident wholemem slab.
+	PagedFeatures bool
+	Feat          featstore.Options
+	// PagedTopo serves the CSR column array from internal/topostore
+	// (configured by Topo) instead of a resident wholemem array; RowPtr
+	// stays resident either way.
+	PagedTopo bool
+	Topo      topostore.Options
+}
+
 // NewStore partitions ds across the GPUs of machine node `node`, charging
 // the allocation and IPC-setup cost (§III-B: tens to ~200 ms, once per
 // training run).
 func NewStore(m *sim.Machine, node int, ds *dataset.Dataset) (*Store, error) {
+	return NewStoreOpts(m, node, ds, StoreOptions{})
+}
+
+// NewStoreOpts is NewStore with explicit storage backends. Decoded
+// values are bit-identical across all backend combinations (Raw feature
+// encoding): paging changes virtual time and cache hit rates, never
+// training results.
+func NewStoreOpts(m *sim.Machine, node int, ds *dataset.Dataset, opts StoreOptions) (*Store, error) {
+	if ds.Graph == nil && !opts.PagedTopo {
+		return nil, fmt.Errorf("core: %s is out-of-core (no materialized CSR); it requires the paged topology store (StoreOptions.PagedTopo)", ds.Spec.Name)
+	}
+	if ds.Feat == nil && ds.Gen != nil && !opts.PagedFeatures {
+		return nil, fmt.Errorf("core: %s has no materialized feature slab; it requires the paged feature store (StoreOptions.PagedFeatures)", ds.Spec.Name)
+	}
+	if ds.Spec.Weighted && opts.PagedTopo {
+		return nil, fmt.Errorf("core: %s is weighted; edge weights require a materialized column array", ds.Spec.Name)
+	}
 	comm, err := wholemem.NewComm(m.NodeDevs(node))
 	if err != nil {
 		return nil, err
 	}
-	pg, err := graph.Partition(ds.Graph, ds.Feat, ds.Spec.FeatDim, comm)
+	// Features partitioned with the graph only in flat-slab mode; the
+	// paged store installs its own FeatureSource below.
+	feat := ds.Feat
+	if opts.PagedFeatures {
+		feat = nil
+	}
+	var pg *graph.Partitioned
+	if opts.PagedTopo {
+		var src graph.TopoSource
+		if ds.Graph != nil {
+			src = graph.CSRTopo{G: ds.Graph}
+		} else {
+			src = ds.Topo
+		}
+		pg, err = graph.PartitionPaged(src, feat, ds.Spec.FeatDim, comm, opts.Topo)
+	} else {
+		pg, err = graph.Partition(ds.Graph, feat, ds.Spec.FeatDim, comm)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning %s: %w", ds.Spec.Name, err)
 	}
 	if ds.Spec.Weighted {
 		pg.AttachEdgeWeights(graph.HashEdgeWeight)
+	}
+	if opts.PagedFeatures {
+		if ds.Feat == nil && ds.Gen == nil {
+			return nil, fmt.Errorf("core: %s has no features for the paged store", ds.Spec.Name)
+		}
+		fs, err := featstore.New(&partitionRows{pg: pg, ds: ds}, opts.Feat)
+		if err != nil {
+			return nil, err
+		}
+		fs.Attach(comm.Devs...)
+		pg.SetFeatures(fs)
 	}
 	return &Store{Machine: m, Node: node, Comm: comm, DS: ds, PG: pg}, nil
 }
@@ -82,27 +144,7 @@ func NewStoreWithFeatureKind(m *sim.Machine, node int, ds *dataset.Dataset, kind
 // encoding the decoded rows are bit-identical to the slab, so training
 // losses match the flat path exactly; lossy encodings are opt-in.
 func NewStorePaged(m *sim.Machine, node int, ds *dataset.Dataset, opts featstore.Options) (*Store, error) {
-	comm, err := wholemem.NewComm(m.NodeDevs(node))
-	if err != nil {
-		return nil, err
-	}
-	pg, err := graph.Partition(ds.Graph, nil, ds.Spec.FeatDim, comm)
-	if err != nil {
-		return nil, fmt.Errorf("core: partitioning %s: %w", ds.Spec.Name, err)
-	}
-	if ds.Spec.Weighted {
-		pg.AttachEdgeWeights(graph.HashEdgeWeight)
-	}
-	if ds.Feat == nil && ds.Gen == nil {
-		return nil, fmt.Errorf("core: %s has no features for the paged store", ds.Spec.Name)
-	}
-	fs, err := featstore.New(&partitionRows{pg: pg, ds: ds}, opts)
-	if err != nil {
-		return nil, err
-	}
-	fs.Attach(comm.Devs...)
-	pg.SetFeatures(fs)
-	return &Store{Machine: m, Node: node, Comm: comm, DS: ds, PG: pg}, nil
+	return NewStoreOpts(m, node, ds, StoreOptions{PagedFeatures: true, Feat: opts})
 }
 
 // FeatStore returns the paged feature store behind a NewStorePaged store,
@@ -111,6 +153,10 @@ func (s *Store) FeatStore() *featstore.Store {
 	fs, _ := s.PG.Features().(*featstore.Store)
 	return fs
 }
+
+// TopoStore returns the paged topology store behind a paged-topology
+// store, or nil when the column array is materialized.
+func (s *Store) TopoStore() *topostore.Store { return s.PG.PagedTopo() }
 
 // partitionRows adapts the dataset's per-node rows to the partitioned
 // feature-row order (rank-major, FeatRow indices) the loader gathers with.
@@ -301,6 +347,64 @@ func (l *Loader) Collect() (*gnn.Batch, Timing) {
 // overwriting the scratch.
 func (l *Loader) Release() {
 	l.slots[l.next^1].free = l.Dev.RecordEvent()
+}
+
+// PrefetchPages predicts which paged-store pages the batch for `targets`
+// will touch — the first sampling hop's column ranges and the targets'
+// feature rows — and faults up to maxPages of each (topology, features)
+// on the copy stream ahead of demand, without blocking compute. The
+// prediction is a heuristic over host-readable metadata (degrees, row
+// indices); it never advances the sampler RNG, so batch contents are
+// unchanged — hit rates and virtual time are the only effect. Returns
+// the number of pages actually faulted. No-op on fully resident stores.
+func (l *Loader) PrefetchPages(targets []int64, maxPages int) int {
+	if maxPages <= 0 {
+		return 0
+	}
+	pg := l.Store.PG
+	var total int
+	if ts := pg.PagedTopo(); ts != nil && len(l.Fanouts) > 0 {
+		fan := int64(l.Fanouts[0])
+		seen := make(map[int32]struct{}, maxPages)
+		ids := make([]int32, 0, maxPages)
+		add := func(id int32) {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+	predict:
+		for _, v := range targets {
+			gid := pg.Owner[v]
+			deg := pg.Degree(gid)
+			if deg == 0 {
+				continue
+			}
+			e0 := pg.EdgeIndex(gid, 0)
+			last := e0
+			if deg <= fan {
+				// Full-list read: every page the row spans.
+				last = e0 + deg - 1
+			}
+			// Hubs get their first page only — sampled positions are
+			// scattered and prefetching a hub's whole list would thrash.
+			for id := ts.PageOf(e0); id <= ts.PageOf(last); id++ {
+				if len(ids) >= maxPages {
+					break predict
+				}
+				add(id)
+			}
+		}
+		total += ts.PrefetchPages(l.Dev, ids)
+	}
+	if fs := l.Store.FeatStore(); fs != nil {
+		rows := make([]int64, len(targets))
+		for i, v := range targets {
+			rows[i] = pg.FeatRow(pg.Owner[v])
+		}
+		total += fs.PrefetchRows(l.Dev, rows, maxPages)
+	}
+	return total
 }
 
 // buildInto runs the sample/dedup/gather chain for targets into slot s,

@@ -131,6 +131,12 @@ func All() []Spec {
 type Dataset struct {
 	Spec  Spec
 	Graph *graph.CSR
+	// Topo is the hash-defined adjacency of out-of-core datasets
+	// (GenerateOutOfCore leaves Graph nil and sets Topo; the paged
+	// topology store reads edge ranges from it on demand).
+	// MaterializeOutOfCore sets both, with Graph holding exactly the
+	// lists Topo defines.
+	Topo *EdgeGen
 	// Feat is the materialized feature slab, row-major [Nodes x FeatDim].
 	// Out-of-core datasets (GenerateOutOfCore) leave it nil and carry only
 	// Gen; consumers that need rows use FillFeatRow or a paged store.
@@ -163,16 +169,59 @@ func Generate(s Spec) (*Dataset, error) {
 	return generate(s, true)
 }
 
-// GenerateOutOfCore builds the dataset without materializing the feature
-// slab: Dataset.Feat stays nil and rows are produced on demand by
-// Dataset.Gen (each row comes from its own hash-seeded stream, so
-// regeneration is O(dim) per row and bit-identical to the slab Generate
-// would have built). Everything else — graph, labels, splits — is
-// byte-identical to Generate: the slab fill never consumes the main RNG.
-// This is what lets ogbn-papers100M run at scale 1.0 (a ~57 GB slab)
-// behind the paged feature store on a single host.
+// GenerateOutOfCore builds the dataset without materializing either big
+// array: Dataset.Feat stays nil (rows come on demand from Dataset.Gen,
+// each from its own hash-seeded stream) and Dataset.Graph stays nil too —
+// the adjacency is Dataset.Topo, an EdgeGen that computes any neighbor
+// range by hashing, so the ~26 GB papers100M CSR column is never built.
+// Labels, splits and feature centroids still come from the spec-seeded
+// RNG and are shared bit-for-bit with MaterializeOutOfCore, the in-RAM
+// twin used by equivalence tests and ablation baselines.
+//
+// Note: the hash-defined topology is a different (same-distribution)
+// graph than Generate's sequential COO sampler produces — random access
+// to an edge stream that was defined by a sequential RNG is not possible,
+// so out-of-core datasets define the graph functionally instead. Training
+// it requires train.Options.PagedTopo (and PagedFeatures).
 func GenerateOutOfCore(s Spec) (*Dataset, error) {
-	return generate(s, false)
+	return generateOOC(s, false)
+}
+
+// MaterializeOutOfCore builds the in-RAM twin of GenerateOutOfCore: the
+// same labels, splits and feature generator, with the feature slab filled
+// and the EdgeGen adjacency materialized into a CSR holding exactly the
+// lists Topo defines (row by row, no re-sorting). Paged-topology training
+// over GenerateOutOfCore(s) is bit-identical to in-RAM training over
+// MaterializeOutOfCore(s); only viable at bench scales, by design.
+func MaterializeOutOfCore(s Spec) (*Dataset, error) {
+	return generateOOC(s, true)
+}
+
+func generateOOC(s Spec, materialize bool) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Weighted {
+		return nil, fmt.Errorf("dataset %s: out-of-core topology does not support edge weights", s.Name)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	ds := &Dataset{Spec: s, Topo: NewEdgeGen(s)}
+	ds.generateFeatures(rng, materialize)
+	ds.generateSplits(rng)
+	if materialize {
+		n := s.Nodes
+		rowPtr := make([]int64, n+1)
+		for v := int64(0); v < n; v++ {
+			rowPtr[v+1] = rowPtr[v] + ds.Topo.Degree(v)
+		}
+		col := make([]int64, rowPtr[n])
+		for v := int64(0); v < n; v++ {
+			lo, hi := rowPtr[v], rowPtr[v+1]
+			ds.Topo.FillNeighbors(v, 0, hi-lo, col[lo:hi])
+		}
+		ds.Graph = &graph.CSR{N: n, RowPtr: rowPtr, Col: col}
+	}
+	return ds, nil
 }
 
 func generate(s Spec, materialize bool) (*Dataset, error) {
@@ -304,16 +353,27 @@ func (d *Dataset) generateSplits(rng *rand.Rand) {
 	}
 }
 
-// NumEdgePairs returns the generated edge-pair count (Table II convention).
+// NumEdgePairs returns the generated edge-pair count (Table II
+// convention). For out-of-core datasets it sums the hash-defined degrees
+// (O(Nodes), computed once).
 func (d *Dataset) NumEdgePairs() int64 {
-	if d.Spec.Undirected {
-		return d.Graph.NumEdges() / 2
+	var stored int64
+	switch {
+	case d.Graph != nil:
+		stored = d.Graph.NumEdges()
+	case d.Topo != nil:
+		stored = d.Topo.NumEdges()
+	default:
+		return 0
 	}
-	return d.Graph.NumEdges()
+	if d.Spec.Undirected {
+		return stored / 2
+	}
+	return stored
 }
 
 // affinePerm is a bijection over [0,n): x -> (a*x+b) mod n with gcd(a,n)=1.
-type affinePerm struct{ a, b, n int64 }
+type affinePerm struct{ a, inv, b, n int64 }
 
 func newAffinePerm(n int64) affinePerm {
 	a := int64(6364136223846793005 % uint64(n))
@@ -323,12 +383,36 @@ func newAffinePerm(n int64) affinePerm {
 	for gcd(a, n) != 1 {
 		a++
 	}
-	return affinePerm{a: a, b: n / 3, n: n}
+	return affinePerm{a: a, inv: modInverse(a, n), b: n / 3, n: n}
 }
 
 func (p affinePerm) apply(x int64) int64 {
 	hi := (p.a % p.n) * (x % p.n) % p.n // avoid overflow for n < 2^31.5
 	return (hi + p.b) % p.n
+}
+
+// invert maps a node ID back to its popularity slot: apply(invert(y)) == y.
+func (p affinePerm) invert(y int64) int64 {
+	x := (y - p.b) % p.n
+	if x < 0 {
+		x += p.n
+	}
+	return (p.inv % p.n) * (x % p.n) % p.n
+}
+
+// modInverse returns a^-1 mod n for gcd(a,n)=1 (extended Euclid).
+func modInverse(a, n int64) int64 {
+	t, newT := int64(0), int64(1)
+	r, newR := n, a%n
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if t < 0 {
+		t += n
+	}
+	return t
 }
 
 func gcd(a, b int64) int64 {

@@ -351,12 +351,13 @@ func TestLoadRejectsV1(t *testing.T) {
 	}
 }
 
-// TestOutOfCoreEquivalence: GenerateOutOfCore must agree with Generate on
-// everything — graph, labels, splits byte-identical, and every feature row
-// reproducible on demand bit-exactly.
+// TestOutOfCoreEquivalence: GenerateOutOfCore must agree with its in-RAM
+// twin MaterializeOutOfCore on everything — adjacency (hash-defined vs
+// materialized CSR), labels, splits, and every feature row bit-exactly —
+// while materializing nothing itself.
 func TestOutOfCoreEquivalence(t *testing.T) {
 	spec := smallSpec()
-	full, err := Generate(spec)
+	full, err := MaterializeOutOfCore(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,15 +368,59 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 	if ooc.Feat != nil {
 		t.Fatal("out-of-core dataset materialized a slab")
 	}
-	if ooc.Gen == nil {
-		t.Fatal("out-of-core dataset has no feature generator")
+	if ooc.Graph != nil {
+		t.Fatal("out-of-core dataset materialized a CSR")
 	}
-	if ooc.Graph.N != full.Graph.N || ooc.Graph.NumEdges() != full.Graph.NumEdges() {
-		t.Fatal("graph shape differs")
+	if ooc.Gen == nil || ooc.Topo == nil {
+		t.Fatal("out-of-core dataset missing a generator")
 	}
-	for i := range full.Graph.Col {
-		if ooc.Graph.Col[i] != full.Graph.Col[i] {
-			t.Fatalf("edge %d differs", i)
+	if full.Graph == nil || full.Topo == nil || full.Feat == nil {
+		t.Fatal("materialized twin incomplete")
+	}
+	n := spec.Nodes
+	if full.Graph.N != n || ooc.Topo.NumNodes() != n {
+		t.Fatal("node counts differ")
+	}
+	if got, want := ooc.Topo.NumEdges(), full.Graph.NumEdges(); got != want {
+		t.Fatalf("edge counts differ: %d != %d", got, want)
+	}
+	if got, want := ooc.NumEdgePairs(), full.NumEdgePairs(); got != want {
+		t.Fatalf("edge pairs differ: %d != %d", got, want)
+	}
+	// Adjacency: every row of the materialized CSR must equal the
+	// hash-defined lists, both whole-row and sliced.
+	buf := make([]int64, 0)
+	for v := int64(0); v < n; v++ {
+		deg := ooc.Topo.Degree(v)
+		if got := full.Graph.Degree(v); got != deg {
+			t.Fatalf("node %d degree %d != %d", v, deg, got)
+		}
+		if int64(cap(buf)) < deg {
+			buf = make([]int64, deg)
+		}
+		row := buf[:deg]
+		ooc.Topo.FillNeighbors(v, 0, deg, row)
+		want := full.Graph.Neighbors(v)
+		for k, d := range row {
+			if d == v {
+				t.Fatalf("self-loop at node %d slot %d", v, k)
+			}
+			if d < 0 || d >= n {
+				t.Fatalf("node %d slot %d out of range: %d", v, k, d)
+			}
+			if d != want[k] {
+				t.Fatalf("node %d slot %d: %d != %d", v, k, d, want[k])
+			}
+		}
+		// Sliced fill must agree with the whole-row fill.
+		if deg >= 2 {
+			half := make([]int64, deg-1)
+			ooc.Topo.FillNeighbors(v, 1, deg, half)
+			for k, d := range half {
+				if d != row[k+1] {
+					t.Fatalf("node %d sliced fill diverges at slot %d", v, k+1)
+				}
+			}
 		}
 	}
 	for i := range full.Labels {
@@ -395,7 +440,7 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 	}
 	dim := spec.FeatDim
 	row := make([]float32, dim)
-	for _, v := range []int64{0, 1, full.Graph.N / 2, full.Graph.N - 1} {
+	for _, v := range []int64{0, 1, n / 2, n - 1} {
 		ooc.FillFeatRow(v, row)
 		for j := 0; j < dim; j++ {
 			want := full.Feat[v*int64(dim)+int64(j)]
@@ -404,15 +449,88 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 			}
 		}
 	}
-	// FillFeatRow on the materialized dataset reads the slab.
-	full.FillFeatRow(3, row)
-	for j := 0; j < dim; j++ {
-		if row[j] != full.Feat[3*int64(dim)+int64(j)] {
-			t.Fatal("materialized FillFeatRow diverges from slab")
-		}
-	}
-	// Out-of-core datasets cannot be saved (no slab to write).
+	// Out-of-core datasets cannot be saved (no slab, no CSR to write).
 	if err := ooc.Save(&bytes.Buffer{}); err == nil {
 		t.Error("Save accepted an out-of-core dataset")
+	}
+}
+
+// TestEdgeGenDeterminism: two independently constructed generators agree,
+// and the degree model produces the spec's edge budget with a heavy tail.
+func TestEdgeGenDeterminism(t *testing.T) {
+	spec := smallSpec()
+	a, b := NewEdgeGen(spec), NewEdgeGen(spec)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge totals differ: %d != %d", a.NumEdges(), b.NumEdges())
+	}
+	n := spec.Nodes
+	var maxDeg int64
+	buf1 := make([]int64, 64)
+	buf2 := make([]int64, 64)
+	for v := int64(0); v < n; v += 7 {
+		if a.Degree(v) != b.Degree(v) {
+			t.Fatalf("degree(%d) differs", v)
+		}
+		deg := a.Degree(v)
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+		k1 := deg
+		if k1 > 64 {
+			k1 = 64
+		}
+		a.FillNeighbors(v, 0, k1, buf1[:k1])
+		b.FillNeighbors(v, 0, k1, buf2[:k1])
+		for k := int64(0); k < k1; k++ {
+			if buf1[k] != buf2[k] {
+				t.Fatalf("neighbor (%d,%d) differs", v, k)
+			}
+		}
+	}
+	// Stored edges ~ 2x pairs (undirected), within rounding of the target.
+	stored := a.NumEdges()
+	want := 2 * spec.Edges
+	if stored < want/2 || stored > want+want/2 {
+		t.Errorf("stored edges %d far from target %d", stored, want)
+	}
+	// Heavy tail: the hub degree dwarfs the mean.
+	mean := float64(stored) / float64(n)
+	if float64(maxDeg) < 10*mean {
+		t.Errorf("max degree %d not heavy-tailed (mean %.1f)", maxDeg, mean)
+	}
+	if maxDeg > n-1 {
+		t.Errorf("max degree %d exceeds cap %d", maxDeg, n-1)
+	}
+	// Homophily: a large same-class neighbor fraction (spec.Homophily 0.6
+	// plus same-class mass from the power-law draw).
+	same, total := 0, 0
+	c := int64(spec.NumClasses)
+	for v := int64(0); v < n; v += 11 {
+		deg := a.Degree(v)
+		if deg > 32 {
+			deg = 32
+		}
+		a.FillNeighbors(v, 0, deg, buf1[:deg])
+		for _, d := range buf1[:deg] {
+			if d%c == v%c {
+				same++
+			}
+			total++
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.4 {
+		t.Errorf("same-class neighbor fraction %.2f too low for homophily %.2f", frac, spec.Homophily)
+	}
+}
+
+// TestOutOfCoreRejectsWeighted: edge weights need a materialized column.
+func TestOutOfCoreRejectsWeighted(t *testing.T) {
+	spec := smallSpec()
+	spec.Weighted = true
+	if _, err := GenerateOutOfCore(spec); err == nil {
+		t.Error("weighted out-of-core dataset accepted")
+	}
+	if _, err := MaterializeOutOfCore(spec); err == nil {
+		t.Error("weighted materialized-out-of-core dataset accepted")
 	}
 }

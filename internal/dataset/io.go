@@ -74,6 +74,9 @@ func (d *Dataset) Save(w io.Writer) error {
 	if d.Feat == nil && d.Gen != nil {
 		return fmt.Errorf("dataset: %s is out-of-core (no feature slab); spill its feature store instead of saving", d.Spec.Name)
 	}
+	if d.Graph == nil {
+		return fmt.Errorf("dataset: %s is out-of-core (no materialized CSR); the format stores adjacency explicitly", d.Spec.Name)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ioMagic); err != nil {
 		return err

@@ -1,121 +1,40 @@
 package featstore
 
-import "sync"
+import "wholegraph/internal/blockcache"
 
-// BlockCache is a byte-budgeted LRU cache of encoded pages, one per
-// attached device (it models that GPU's HBM page pool). It is
-// mutex-guarded: the store itself is shared read-only across workers, but
-// each device's cache mutates on every gather, and sim.RunParallel drives
-// devices from separate goroutines.
-type BlockCache struct {
-	mu       sync.Mutex
-	capacity int64
-	bytes    int64
-	entries  map[int32]*blockEntry
-	// Doubly-linked LRU list threaded through the entries; head is the
-	// most recently used, tail the eviction candidate.
-	head, tail *blockEntry
+// The BlockCache machinery lives in internal/blockcache (it is shared
+// with internal/topostore, which featstore cannot import without a
+// cycle); these aliases keep the featstore spelling that the rest of the
+// tree and the CLIs use.
 
-	hits, misses, evictions int64
-}
+// Block is a cacheable page payload (see blockcache.Block).
+type Block = blockcache.Block
 
-type blockEntry struct {
-	id         int32
-	pg         *page
-	prev, next *blockEntry
-}
+// Policy selects the replacement/admission policy (see blockcache.Policy).
+type Policy = blockcache.Policy
 
-// NewBlockCache creates a cache bounded to capacityBytes of encoded page
-// payload (plus fixed per-page metadata). A single page larger than the
-// budget is still admitted — gathers must be able to proceed — so the
-// effective floor is one page.
-func NewBlockCache(capacityBytes int64) *BlockCache {
-	return &BlockCache{capacity: capacityBytes, entries: make(map[int32]*blockEntry)}
-}
+// The supported cache policies.
+const (
+	PolicyLRU   = blockcache.PolicyLRU
+	PolicyAdmit = blockcache.PolicyAdmit
+)
 
-// get returns the cached page and promotes it to most-recently-used, or
-// nil on a miss. Hit/miss counters track lookups.
-func (c *BlockCache) get(id int32) *page {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[id]
-	if !ok {
-		c.misses++
-		return nil
-	}
-	c.hits++
-	c.unlink(e)
-	c.pushFront(e)
-	return e.pg
-}
+// ParsePolicy resolves a CLI spelling of a cache policy.
+func ParsePolicy(s string) (Policy, error) { return blockcache.ParsePolicy(s) }
 
-// put inserts a freshly faulted-in page as most-recently-used and evicts
-// from the LRU tail until the budget holds (never evicting the new page
-// itself).
-func (c *BlockCache) put(id int32, pg *page) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[id]; ok {
-		// Another worker faulted the page in between our get and put;
-		// keep the resident copy (identical bytes — encoding is
-		// deterministic) and just promote it.
-		c.unlink(e)
-		c.pushFront(e)
-		return
-	}
-	e := &blockEntry{id: id, pg: pg}
-	c.entries[id] = e
-	c.pushFront(e)
-	c.bytes += pg.bytes()
-	for c.bytes > c.capacity && c.tail != nil && c.tail != e {
-		victim := c.tail
-		c.unlink(victim)
-		delete(c.entries, victim.id)
-		c.bytes -= victim.pg.bytes()
-		c.evictions++
-	}
-}
-
-func (c *BlockCache) pushFront(e *blockEntry) {
-	e.prev, e.next = nil, c.head
-	if c.head != nil {
-		c.head.prev = e
-	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
-	}
-}
-
-func (c *BlockCache) unlink(e *blockEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else if c.head == e {
-		c.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else if c.tail == e {
-		c.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
+// BlockCache is the shared per-device page cache (see
+// blockcache.BlockCache).
+type BlockCache = blockcache.BlockCache
 
 // CacheStats is a point-in-time snapshot of one BlockCache.
-type CacheStats struct {
-	Hits, Misses, Evictions int64
-	ResidentBytes           int64
-	ResidentPages           int
-	CapacityBytes           int64
+type CacheStats = blockcache.CacheStats
+
+// NewBlockCache creates an LRU cache bounded to capacityBytes.
+func NewBlockCache(capacityBytes int64) *BlockCache {
+	return blockcache.NewBlockCache(capacityBytes)
 }
 
-// Stats snapshots the cache counters.
-func (c *BlockCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		ResidentBytes: c.bytes, ResidentPages: len(c.entries),
-		CapacityBytes: c.capacity,
-	}
+// NewBlockCacheWithPolicy is NewBlockCache with an explicit policy.
+func NewBlockCacheWithPolicy(capacityBytes int64, p Policy) *BlockCache {
+	return blockcache.NewBlockCacheWithPolicy(capacityBytes, p)
 }

@@ -15,6 +15,8 @@ package featstore
 import (
 	"fmt"
 	"math"
+
+	"wholegraph/internal/sim"
 )
 
 // Encoding selects the page codec.
@@ -89,9 +91,15 @@ type page struct {
 	// minV and maxV bound the page's values; Quant8 decodes against them.
 	minV, maxV float32
 	rows       int
+	// ready is the copy-stream event after which the page is resident on
+	// its device (zero — always in the past — for demand faults, which
+	// wait inline; set by PrefetchRows so a demand hit on an in-flight
+	// prefetch joins the migration instead of time-traveling).
+	ready sim.Event
 }
 
-func (p *page) bytes() int64 { return int64(len(p.data)) + 8 }
+// CacheBytes implements Block: encoded payload plus page metadata.
+func (p *page) CacheBytes() int64 { return int64(len(p.data)) + 8 }
 
 // encodePage encodes src (rows*dim float32s, row-major) with enc. The
 // output is deterministic in src alone, so an evicted page re-encodes to

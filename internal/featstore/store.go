@@ -48,6 +48,10 @@ type Options struct {
 	// CacheBytes is each attached device's BlockCache budget in bytes of
 	// encoded page payload (default 256 MiB).
 	CacheBytes int64
+	// Policy selects the BlockCache replacement/admission policy
+	// (default PolicyLRU). PolicyAdmit changes only which pages stay
+	// resident — decoded values are identical under either policy.
+	Policy Policy
 }
 
 func (o Options) normalize() Options {
@@ -95,6 +99,8 @@ type devCache struct {
 	dev    *sim.Device
 	bc     *BlockCache
 	pages  map[int32]*page
+	fresh  []*page
+	ids    []int32
 	rowBuf []float32
 }
 
@@ -119,7 +125,7 @@ func (s *Store) Attach(devs ...*sim.Device) {
 	for _, d := range devs {
 		s.caches = append(s.caches, &devCache{
 			dev:   d,
-			bc:    NewBlockCache(s.opts.CacheBytes),
+			bc:    NewBlockCacheWithPolicy(s.opts.CacheBytes, s.opts.Policy),
 			pages: make(map[int32]*page),
 		})
 	}
@@ -203,9 +209,10 @@ func (s *Store) GatherRows(dev *sim.Device, rows []int64, dim int, dst []float32
 	t0 := dev.Now()
 
 	clear(dc.pages)
+	dc.fresh = dc.fresh[:0]
 	pageRows := int64(s.opts.PageRows)
-	missPages := 0
 	var missBytes int64
+	var inflight sim.Event
 	for _, row := range rows {
 		if row < 0 || row >= s.nRows {
 			panic(fmt.Sprintf("featstore: row %d outside [0,%d)", row, s.nRows))
@@ -214,17 +221,23 @@ func (s *Store) GatherRows(dev *sim.Device, rows []int64, dim int, dst []float32
 		if _, ok := dc.pages[id]; ok {
 			continue
 		}
-		pg := dc.bc.get(id)
+		pg, _ := dc.bc.Get(id).(*page)
 		if pg == nil {
 			pg, dc.rowBuf = s.encodePageInto(id, dc.rowBuf)
-			dc.bc.put(id, pg)
-			missPages++
-			missBytes += pg.bytes()
+			// A rejected insert (PolicyAdmit) still serves this gather via
+			// dc.pages; only residency for future gathers changes.
+			dc.bc.Put(id, pg)
+			dc.fresh = append(dc.fresh, pg)
+			missBytes += pg.CacheBytes()
+		} else if pg.ready.T > inflight.T {
+			// Hit on a page a prefetch may still be migrating: join its
+			// copy-stream ready event instead of reading the future.
+			inflight = pg.ready
 		}
 		dc.pages[id] = pg
 	}
 
-	if missPages > 0 {
+	if len(dc.fresh) > 0 {
 		// Fault service runs on the copy stream: it can start no earlier
 		// than this gather's issue point, and the gather's decode kernel
 		// waits for the migration — the PR-3 event dance. Per-page fault
@@ -234,12 +247,16 @@ func (s *Store) GatherRows(dev *sim.Device, rows []int64, dim int, dst []float32
 		prev := dev.SetStream(sim.StreamCopy)
 		dev.WaitEvent(issue, "featstore.issue")
 		ws := float64(s.EncodedBytes()) / 1e9
-		dev.IdleFor(float64(missPages)*dev.UMAccessLatency(ws), "featstore.fault")
+		dev.IdleFor(float64(len(dc.fresh))*dev.UMAccessLatency(ws), "featstore.fault")
 		dev.Kernel(sim.KernelCost{UMBytes: float64(missBytes), Tag: "featstore.pagein"})
 		ready := dev.RecordEvent()
 		dev.SetStream(prev)
+		for _, pg := range dc.fresh {
+			pg.ready = ready
+		}
 		dev.WaitEvent(ready, "featstore.ready")
 	}
+	dev.WaitEvent(inflight, "featstore.prefetch.join")
 
 	for i, row := range rows {
 		id := int32(row / pageRows)
@@ -254,6 +271,70 @@ func (s *Store) GatherRows(dev *sim.Device, rows []int64, dim int, dst []float32
 		Tag:         tag,
 	})
 	return dev.Now() - t0
+}
+
+// PrefetchRows faults the pages holding rows into dev's BlockCache ahead
+// of demand, at most maxPages of them (0 = unlimited). The migration is
+// issued on the copy stream and — unlike a demand fault — nothing waits
+// on it: pages carry the transfer's ready event, and the first gather to
+// touch one joins that event (free if the transfer already finished,
+// the overlap win; a stall only if compute caught up with the copy
+// stream). Already-resident pages are skipped without touching the
+// demand hit/miss counters; under PolicyAdmit the sketch can reject a
+// prefetch outright, in which case no fault is charged. Returns the
+// number of pages actually faulted.
+func (s *Store) PrefetchRows(dev *sim.Device, rows []int64, maxPages int) int {
+	dc := s.cacheFor(dev)
+	dc.ids = dc.ids[:0]
+	pageRows := int64(s.opts.PageRows)
+	for _, row := range rows {
+		if row < 0 || row >= s.nRows {
+			continue
+		}
+		id := int32(row / pageRows)
+		dup := false
+		for _, seen := range dc.ids {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dc.ids = append(dc.ids, id)
+		}
+	}
+	if maxPages > 0 && len(dc.ids) > maxPages {
+		dc.ids = dc.ids[:maxPages]
+	}
+	dc.fresh = dc.fresh[:0]
+	var missBytes int64
+	for _, id := range dc.ids {
+		if dc.bc.Contains(id) {
+			continue
+		}
+		pg, buf := s.encodePageInto(id, dc.rowBuf)
+		dc.rowBuf = buf
+		if !dc.bc.PutPrefetched(id, pg) {
+			continue // admission rejected a speculative page: skip, no charge
+		}
+		dc.fresh = append(dc.fresh, pg)
+		missBytes += pg.CacheBytes()
+	}
+	if len(dc.fresh) == 0 {
+		return 0
+	}
+	issue := dev.RecordEvent()
+	prev := dev.SetStream(sim.StreamCopy)
+	dev.WaitEvent(issue, "featstore.prefetch.issue")
+	ws := float64(s.EncodedBytes()) / 1e9
+	dev.IdleFor(float64(len(dc.fresh))*dev.UMAccessLatency(ws), "featstore.prefetch.fault")
+	dev.Kernel(sim.KernelCost{UMBytes: float64(missBytes), Tag: "featstore.prefetch"})
+	ready := dev.RecordEvent()
+	dev.SetStream(prev)
+	for _, pg := range dc.fresh {
+		pg.ready = ready
+	}
+	return len(dc.fresh)
 }
 
 // ReadRow implements graph.FeatureSource: an uncharged host-side read that
@@ -277,16 +358,19 @@ func (s *Store) ReadRow(row int64, dst []float32) {
 // Stats aggregates the store's configuration with every attached device's
 // BlockCache counters.
 type Stats struct {
-	Encoding      string `json:"encoding"`
-	PageRows      int    `json:"page_rows"`
-	Pages         int    `json:"pages"`
-	EncodedBytes  int64  `json:"encoded_bytes"`
-	CacheBytes    int64  `json:"cache_budget_bytes"`
-	Devices       int    `json:"devices"`
-	Hits          int64  `json:"hits"`
-	Misses        int64  `json:"misses"`
-	Evictions     int64  `json:"evictions"`
-	ResidentBytes int64  `json:"resident_bytes"`
+	Encoding         string `json:"encoding"`
+	PageRows         int    `json:"page_rows"`
+	Pages            int    `json:"pages"`
+	EncodedBytes     int64  `json:"encoded_bytes"`
+	CacheBytes       int64  `json:"cache_budget_bytes"`
+	Devices          int    `json:"devices"`
+	Policy           string `json:"policy"`
+	Hits             int64  `json:"hits"`
+	Misses           int64  `json:"misses"`
+	Evictions        int64  `json:"evictions"`
+	PrefetchHits     int64  `json:"prefetch_hits"`
+	AdmissionRejects int64  `json:"admission_rejects"`
+	ResidentBytes    int64  `json:"resident_bytes"`
 }
 
 // HitRate returns the fraction of page lookups served from a BlockCache.
@@ -303,12 +387,15 @@ func (s *Store) Stats() Stats {
 		Encoding: s.opts.Encoding.String(), PageRows: s.opts.PageRows,
 		Pages: int(s.nPages), EncodedBytes: s.EncodedBytes(),
 		CacheBytes: s.opts.CacheBytes, Devices: len(s.caches),
+		Policy: s.opts.Policy.String(),
 	}
 	for _, dc := range s.caches {
 		cs := dc.bc.Stats()
 		st.Hits += cs.Hits
 		st.Misses += cs.Misses
 		st.Evictions += cs.Evictions
+		st.PrefetchHits += cs.PrefetchHits
+		st.AdmissionRejects += cs.AdmissionRejects
 		st.ResidentBytes += cs.ResidentBytes
 	}
 	return st

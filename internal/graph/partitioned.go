@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 
+	"wholegraph/internal/topostore"
 	"wholegraph/internal/wholemem"
 )
 
@@ -34,6 +35,12 @@ type Partitioned struct {
 
 	// rowBase[r] is the global feature-row index of rank r's first node.
 	rowBase []int64
+
+	// Paged-topology mode (PartitionPaged): Col is nil, colBase[r] is the
+	// global edge index of rank r's first column entry (colBase[parts] the
+	// total), and topo serves column pages on demand.
+	colBase []int64
+	topo    *topostore.Store
 
 	// featSrc serves feature-row gathers: a memFeats adapter over Feat
 	// when the graph was partitioned with a slab, or a paged store
@@ -125,6 +132,9 @@ func PartitionBy(csr *CSR, feat []float32, dim int, comm *wholemem.Comm, ownerOf
 // weights live in distributed shared memory like everything else and are
 // gathered per sampled edge during batch construction.
 func (p *Partitioned) AttachEdgeWeights(w func(u, v int64) float32) {
+	if p.topo != nil {
+		panic("graph: AttachEdgeWeights requires a materialized column array (paged topology does not store edge weights)")
+	}
 	sizes := make([]int64, p.Comm.Size())
 	for r := range sizes {
 		sizes[r] = int64(len(p.Col.Shard(r)))
@@ -164,35 +174,50 @@ func (p *Partitioned) Degree(gid GlobalID) int64 {
 
 // NeighborAt returns gid's k-th neighbor (uncharged host read).
 func (p *Partitioned) NeighborAt(gid GlobalID, k int64) GlobalID {
-	rank := gid.Rank()
-	lo := p.RowPtr.Get(p.RowPtr.ShardStart(rank) + gid.Local())
-	return GlobalID(p.Col.Get(p.Col.ShardStart(rank) + lo + k))
+	return GlobalID(p.ColValue(p.EdgeIndex(gid, k)))
 }
 
-// EdgeIndex returns the global element index (into Col and EdgeW) of gid's
-// k-th edge.
+// EdgeIndex returns the global element index (into Col and EdgeW, or the
+// paged column store) of gid's k-th edge.
 func (p *Partitioned) EdgeIndex(gid GlobalID, k int64) int64 {
 	rank := gid.Rank()
 	lo := p.RowPtr.Get(p.RowPtr.ShardStart(rank) + gid.Local())
+	if p.topo != nil {
+		return p.colBase[rank] + lo + k
+	}
 	return p.Col.ShardStart(rank) + lo + k
 }
 
-// Neighbors returns gid's full neighbor list as a shared sub-slice of the
-// owning rank's edge shard.
+// Neighbors returns gid's full neighbor list: a shared sub-slice of the
+// owning rank's edge shard, or (paged topology) a freshly decoded copy —
+// a host-side path; kernels go through the page-aware accessor.
 func (p *Partitioned) Neighbors(gid GlobalID) []uint64 {
 	rank := gid.Rank()
 	base := p.RowPtr.ShardStart(rank)
 	lo := p.RowPtr.Get(base + gid.Local())
 	hi := p.RowPtr.Get(base + gid.Local() + 1)
+	if p.topo != nil {
+		e0 := p.colBase[rank] + lo
+		out := make([]uint64, hi-lo)
+		for i := range out {
+			out[i] = p.topo.ReadEdge(e0 + int64(i))
+		}
+		return out
+	}
 	return p.Col.Shard(rank)[lo:hi]
 }
 
 // StructureBytesPerRank reports the adjacency bytes held by each rank
-// (Table IV accounting).
+// (Table IV accounting). In paged-topology mode the column array is
+// virtual — only the resident RowPtr shard counts; column pages live in
+// the byte-budgeted BlockCaches, reported by the store's Stats.
 func (p *Partitioned) StructureBytesPerRank() []int64 {
 	out := make([]int64, p.Comm.Size())
 	for r := range out {
-		out[r] = int64(len(p.RowPtr.Shard(r)))*8 + int64(len(p.Col.Shard(r)))*8
+		out[r] = int64(len(p.RowPtr.Shard(r))) * 8
+		if p.topo == nil {
+			out[r] += int64(len(p.Col.Shard(r))) * 8
+		}
 	}
 	return out
 }

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"wholegraph/internal/topostore"
+	"wholegraph/internal/wholemem"
+)
+
+// TopoSource produces adjacency on demand over original node IDs; the
+// paged partition never materializes the full edge list. Implementations:
+// a materialized CSR (CSRTopo) and the dataset generator's hash-defined
+// adjacency (dataset.EdgeGen, which satisfies this interface
+// structurally).
+type TopoSource interface {
+	NumNodes() int64
+	// Degree returns node v's stored out-degree.
+	Degree(v int64) int64
+	// FillNeighbors writes neighbor slots [k0, k1) of node v into dst.
+	// Implementations must be deterministic and safe for concurrent calls
+	// with distinct dst buffers.
+	FillNeighbors(v, k0, k1 int64, dst []int64)
+}
+
+// CSRTopo adapts a materialized CSR to TopoSource, letting in-RAM
+// datasets train through the paged topology path (the bit-identity
+// test surface).
+type CSRTopo struct{ G *CSR }
+
+// NumNodes implements TopoSource.
+func (t CSRTopo) NumNodes() int64 { return t.G.N }
+
+// Degree implements TopoSource.
+func (t CSRTopo) Degree(v int64) int64 { return t.G.Degree(v) }
+
+// FillNeighbors implements TopoSource.
+func (t CSRTopo) FillNeighbors(v, k0, k1 int64, dst []int64) {
+	lo := t.G.RowPtr[v]
+	copy(dst, t.G.Col[lo+k0:lo+k1])
+}
+
+// PartitionPaged distributes src's nodes (and optional features) like
+// Partition, but stores no column array: RowPtr stays resident in
+// distributed shared memory (it is ~N*8 bytes — 0.9 GB for papers100M —
+// versus ~26 GB of column), while destination GlobalIDs are served
+// page-by-page from a topostore.Store backed by src. Neighbor access
+// goes through the store's page-aware accessor and is bit-identical to
+// the in-memory CSR; only virtual time and cache hit rates differ.
+func PartitionPaged(src TopoSource, feat []float32, dim int, comm *wholemem.Comm, opts topostore.Options) (*Partitioned, error) {
+	n := src.NumNodes()
+	if feat != nil && int64(len(feat)) != n*int64(dim) {
+		return nil, fmt.Errorf("graph: feature length %d != N*dim = %d", len(feat), n*int64(dim))
+	}
+	parts := comm.Size()
+	p := &Partitioned{Comm: comm, N: n, Dim: dim}
+
+	// Assign GlobalIDs, locals in original-ID order (hash partitioning).
+	p.Owner = make([]GlobalID, n)
+	p.Orig = make([][]int64, parts)
+	for v := int64(0); v < n; v++ {
+		r := RankFor(v, parts)
+		p.Owner[v] = MakeGlobalID(r, int64(len(p.Orig[r])))
+		p.Orig[r] = append(p.Orig[r], v)
+	}
+
+	rowSizes := make([]int64, parts)
+	featSizes := make([]int64, parts)
+	p.rowBase = make([]int64, parts)
+	p.colBase = make([]int64, parts+1)
+	var rows int64
+	for r := 0; r < parts; r++ {
+		ln := int64(len(p.Orig[r]))
+		rowSizes[r] = ln + 1
+		featSizes[r] = ln * int64(dim)
+		p.rowBase[r] = rows
+		rows += ln
+		var edges int64
+		for _, v := range p.Orig[r] {
+			edges += src.Degree(v)
+		}
+		p.colBase[r+1] = p.colBase[r] + edges
+	}
+
+	p.RowPtr = wholemem.AllocSharded[int64](comm, rowSizes)
+	if feat != nil {
+		p.Feat = wholemem.AllocSharded[float32](comm, featSizes)
+		p.featSrc = MemFeatures(p.Feat, rows, dim)
+	}
+	for r := 0; r < parts; r++ {
+		rp := p.RowPtr.Shard(r)
+		var fs []float32
+		if feat != nil {
+			fs = p.Feat.Shard(r)
+		}
+		var off int64
+		for li, v := range p.Orig[r] {
+			rp[li] = off
+			off += src.Degree(v)
+			if feat != nil {
+				copy(fs[int64(li)*int64(dim):], feat[v*int64(dim):(v+1)*int64(dim)])
+			}
+		}
+		rp[len(p.Orig[r])] = off
+	}
+
+	ts, err := topostore.New(p.colBase[parts], p.pagedFill(src), opts)
+	if err != nil {
+		return nil, err
+	}
+	ts.Attach(comm.Devs...)
+	p.topo = ts
+	return p, nil
+}
+
+// pagedFill returns the topostore fill function: it maps a global edge
+// index range back to (rank, local row, slot) via the shard bases and
+// resident RowPtr, reads original-ID neighbors from src, and translates
+// them to GlobalIDs — exactly what PartitionBy writes into Col.
+func (p *Partitioned) pagedFill(src TopoSource) topostore.Fill {
+	parts := p.Comm.Size()
+	return func(e0, e1 int64, dst []uint64) {
+		var buf []int64
+		e := e0
+		for e < e1 {
+			// First rank whose shard extends past e (skips empty shards).
+			r := sort.Search(parts, func(r int) bool { return p.colBase[r+1] > e })
+			rp := p.RowPtr.Shard(r)
+			le := e - p.colBase[r]
+			// Row holding local edge offset le.
+			li := sort.Search(len(rp)-1, func(i int) bool { return rp[i+1] > le })
+			for e < e1 && li < len(rp)-1 {
+				rowEnd := p.colBase[r] + rp[li+1]
+				if stop := min64(e1, rowEnd); stop > e {
+					v := p.Orig[r][li]
+					k0 := e - p.colBase[r] - rp[li]
+					cnt := stop - e
+					if int64(cap(buf)) < cnt {
+						buf = make([]int64, cnt)
+					}
+					b := buf[:cnt]
+					src.FillNeighbors(v, k0, k0+cnt, b)
+					for i, d := range b {
+						dst[e-e0+int64(i)] = uint64(p.Owner[d])
+					}
+					e = stop
+				}
+				if e >= e1 {
+					return
+				}
+				li++
+			}
+		}
+	}
+}
+
+// PagedTopo returns the paged column store, or nil when the graph holds
+// a materialized Col array.
+func (p *Partitioned) PagedTopo() *topostore.Store { return p.topo }
+
+// ColValue returns the column entry at global edge index e (uncharged
+// host read), from the materialized array or the paged store.
+func (p *Partitioned) ColValue(e int64) uint64 {
+	if p.topo != nil {
+		return p.topo.ReadEdge(e)
+	}
+	return p.Col.Get(e)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -105,6 +105,9 @@ func (sc *rankScratch) ensureChunks(n int) {
 // intermediate embedding tables.
 func NewEngine(store *core.Store, model gnn.LayerwiseModel) (*Engine, error) {
 	pg := store.PG
+	if pg.PagedTopo() != nil {
+		return nil, fmt.Errorf("infer: layer-wise inference walks full neighbor lists shard-by-shard and requires a materialized column array (not the paged topology store)")
+	}
 	if pg.Features() == nil {
 		return nil, fmt.Errorf("infer: store has no node features")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"wholegraph/internal/graph"
 	"wholegraph/internal/sim"
+	"wholegraph/internal/topostore"
 )
 
 // Neighborhood is one sampled layer over the partitioned graph: for target
@@ -70,10 +71,29 @@ func (s *GPUSampler) SampleLayerInto(nb *Neighborhood, targets []graph.GlobalID,
 	nb.EdgePos = nb.EdgePos[:0]
 	rank := s.PG.Comm.RankOfDevice(s.Dev)
 
+	// Paged topology: neighbor IDs come from the page-aware accessor
+	// instead of the materialized Col array. Decoded values are identical;
+	// only the charging changes — pages are faulted to local HBM (one
+	// copy-stream dance in Flush below), so every column read is a local
+	// 8-byte random access instead of a possibly-remote NVLink read.
+	var acc *topostore.Access
+	if ts := s.PG.PagedTopo(); ts != nil {
+		acc = ts.Begin(s.Dev)
+	}
+	neighbor := func(t graph.GlobalID, k int64) graph.GlobalID {
+		e := s.PG.EdgeIndex(t, k)
+		nb.EdgePos = append(nb.EdgePos, e)
+		if acc != nil {
+			return graph.GlobalID(acc.At(e))
+		}
+		return graph.GlobalID(s.PG.ColValue(e))
+	}
+
 	var localBytes, remoteBytes, remoteSegs, sortKeys float64
 	for _, t := range targets {
 		deg := s.PG.Degree(t)
-		// Two rowptr reads (one 16-byte segment).
+		// Two rowptr reads (one 16-byte segment). RowPtr is resident
+		// distributed shared memory in both modes.
 		if t.Rank() == rank {
 			localBytes += 16
 		} else {
@@ -83,10 +103,9 @@ func (s *GPUSampler) SampleLayerInto(nb *Neighborhood, targets []graph.GlobalID,
 		if deg <= int64(fanout) {
 			// Take all neighbors: one contiguous read of the list.
 			for k := int64(0); k < deg; k++ {
-				nb.Neighbors = append(nb.Neighbors, s.PG.NeighborAt(t, k))
-				nb.EdgePos = append(nb.EdgePos, s.PG.EdgeIndex(t, k))
+				nb.Neighbors = append(nb.Neighbors, neighbor(t, k))
 			}
-			if t.Rank() == rank {
+			if acc != nil || t.Rank() == rank {
 				localBytes += float64(8 * deg)
 			} else {
 				remoteBytes += float64(8 * deg)
@@ -96,12 +115,11 @@ func (s *GPUSampler) SampleLayerInto(nb *Neighborhood, targets []graph.GlobalID,
 			idx := s.scratch.SampleWithoutReplacement(fanout, int(deg), s.Rng)
 			sortKeys += float64(fanout)
 			for _, k := range idx {
-				nb.Neighbors = append(nb.Neighbors, s.PG.NeighborAt(t, k))
-				nb.EdgePos = append(nb.EdgePos, s.PG.EdgeIndex(t, k))
+				nb.Neighbors = append(nb.Neighbors, neighbor(t, k))
 			}
 			// Sampled positions are scattered inside the list: 8-byte
 			// random accesses.
-			if t.Rank() == rank {
+			if acc != nil || t.Rank() == rank {
 				localBytes += float64(8 * fanout)
 			} else {
 				remoteBytes += float64(8 * fanout)
@@ -109,6 +127,12 @@ func (s *GPUSampler) SampleLayerInto(nb *Neighborhood, targets []graph.GlobalID,
 			}
 		}
 		nb.Offsets = append(nb.Offsets, int64(len(nb.Neighbors)))
+	}
+
+	// Fault the column pages this kernel needs (no-op when everything is
+	// resident); the sampling kernel below starts after the migration.
+	if acc != nil {
+		acc.Flush("sample")
 	}
 
 	seg := 8.0

@@ -37,6 +37,7 @@ import (
 	"wholegraph/internal/cache"
 	"wholegraph/internal/core"
 	"wholegraph/internal/dataset"
+	"wholegraph/internal/featstore"
 	"wholegraph/internal/gnn"
 	"wholegraph/internal/sim"
 	"wholegraph/internal/tensor"
@@ -98,6 +99,18 @@ type Options struct {
 	Policy Policy
 	// Seed fixes the arrival process and seed-node draw.
 	Seed int64
+	// PagedFeatures serves node features from the paged feature store
+	// (internal/featstore) instead of a resident wholemem slab — the
+	// serving-side counterpart of train.Options.PagedFeatures.
+	PagedFeatures bool
+	// FeatEncoding is the page codec ("raw", "f16", "q8"; default raw).
+	FeatEncoding string
+	// FeatPageRows is the paged store's rows-per-page (0 = 256).
+	FeatPageRows int
+	// FeatCacheMB is each GPU's BlockCache budget in MiB (0 = 256).
+	FeatCacheMB int
+	// CachePolicy selects the BlockCache policy ("lru" or "admit").
+	CachePolicy string
 }
 
 // Normalize fills defaults.
@@ -186,7 +199,26 @@ func New(m *sim.Machine, node int, ds *dataset.Dataset, model gnn.LayerwiseModel
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	store, err := core.NewStore(m, node, ds)
+	var store *core.Store
+	var err error
+	if opts.PagedFeatures {
+		enc, encErr := featstore.ParseEncoding(opts.FeatEncoding)
+		if encErr != nil {
+			return nil, encErr
+		}
+		policy, polErr := featstore.ParsePolicy(opts.CachePolicy)
+		if polErr != nil {
+			return nil, polErr
+		}
+		store, err = core.NewStorePaged(m, node, ds, featstore.Options{
+			Encoding:   enc,
+			PageRows:   opts.FeatPageRows,
+			CacheBytes: int64(opts.FeatCacheMB) << 20,
+			Policy:     policy,
+		})
+	} else {
+		store, err = core.NewStore(m, node, ds)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +268,15 @@ func New(m *sim.Machine, node int, ds *dataset.Dataset, model gnn.LayerwiseModel
 
 // Replicas returns the number of serving replicas (GPUs of the node).
 func (s *Server) Replicas() int { return len(s.replicas) }
+
+// FeatStoreStats snapshots the paged feature store's BlockCache counters;
+// the zero Stats when Options.PagedFeatures is off.
+func (s *Server) FeatStoreStats() featstore.Stats {
+	if fs := s.Store.FeatStore(); fs != nil {
+		return fs.Stats()
+	}
+	return featstore.Stats{}
+}
 
 // Caches returns the per-replica feature caches (nil entries when
 // Options.CacheRows is 0).

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"wholegraph/internal/autograd"
+	"wholegraph/internal/blockcache"
 	"wholegraph/internal/cache"
 	"wholegraph/internal/core"
 	"wholegraph/internal/dataset"
@@ -29,6 +30,7 @@ import (
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
 	"wholegraph/internal/tensor"
+	"wholegraph/internal/topostore"
 )
 
 // Options configures a training run. Zero values take paper defaults via
@@ -105,6 +107,33 @@ type Options struct {
 	FeatPageRows int
 	// FeatCacheMB is each GPU's BlockCache budget in MiB (0 = 256).
 	FeatCacheMB int
+	// PagedTopo serves the CSR column array from the paged topology store
+	// (internal/topostore) instead of a resident wholemem array: sampling
+	// reads neighbors through a page-aware accessor whose misses pay the
+	// Unified-Memory fault cost on the copy stream. Decoded neighbors are
+	// bit-identical to the in-memory CSR. Required for out-of-core
+	// datasets, whose edge list was never materialized. Incompatible with
+	// Weighted datasets (edge weights need a materialized column).
+	PagedTopo bool
+	// TopoPageEdges is the paged topology store's column entries per page
+	// (0 = 4096).
+	TopoPageEdges int
+	// TopoCacheMB is each GPU's topology BlockCache budget in MiB
+	// (0 = 256).
+	TopoCacheMB int
+	// PrefetchPages, when positive, has each worker predict the paged
+	// pages (topology and features) its next batch will touch and fault up
+	// to that many of each on the copy stream ahead of compute. Prediction
+	// reads only host-visible metadata; batch contents, losses and model
+	// state are bit-identical — hit rates and virtual time are the only
+	// effect. Ignored under Options.Pipeline, whose full-batch copy-stream
+	// prefetch subsumes it.
+	PrefetchPages int
+	// CachePolicy selects the BlockCache replacement policy for both paged
+	// stores: "lru" (default) or "admit" (TinyLFU-style frequency sketch
+	// that rejects cold pages instead of evicting hot ones). Residency
+	// only — decoded values never change.
+	CachePolicy string
 }
 
 // Normalize fills defaults (paper's §IV settings scaled only where the
@@ -171,6 +200,16 @@ type PrefetchingLoader interface {
 	Release()
 }
 
+// PagePrefetcher is a BatchLoader that can fault the paged-store pages an
+// upcoming batch will touch on the copy stream ahead of demand
+// (core.Loader over paged stores). Options.PrefetchPages uses this path
+// in the sequential loop; loaders without paged stores return 0 from it.
+type PagePrefetcher interface {
+	// PrefetchPages predicts and faults up to maxPages pages per paged
+	// store for the given targets, returning the count actually faulted.
+	PrefetchPages(targets []int64, maxPages int) int
+}
+
 // Trainer is the data-parallel trainer over a simulated machine. With the
 // WholeGraph loader each machine node holds one replica of the graph store
 // (§III-D); with a baseline loader the graph lives in host memory.
@@ -213,23 +252,39 @@ func New(m *sim.Machine, ds *dataset.Dataset, opts Options) (*Trainer, error) {
 	if ds.Feat == nil && ds.Gen != nil && !opts.PagedFeatures {
 		return nil, fmt.Errorf("train: %s is out-of-core; set Options.PagedFeatures", ds.Spec.Name)
 	}
+	if ds.Graph == nil && !opts.PagedTopo {
+		return nil, fmt.Errorf("train: %s is out-of-core (no materialized CSR); set Options.PagedTopo", ds.Spec.Name)
+	}
+	policy, err := blockcache.ParsePolicy(opts.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
+	so := core.StoreOptions{
+		PagedFeatures: opts.PagedFeatures,
+		PagedTopo:     opts.PagedTopo,
+	}
+	if opts.PagedFeatures {
+		enc, encErr := featstore.ParseEncoding(opts.FeatEncoding)
+		if encErr != nil {
+			return nil, encErr
+		}
+		so.Feat = featstore.Options{
+			Encoding:   enc,
+			PageRows:   opts.FeatPageRows,
+			CacheBytes: int64(opts.FeatCacheMB) << 20,
+			Policy:     policy,
+		}
+	}
+	if opts.PagedTopo {
+		so.Topo = topostore.Options{
+			PageEdges:  opts.TopoPageEdges,
+			CacheBytes: int64(opts.TopoCacheMB) << 20,
+			Policy:     policy,
+		}
+	}
 	var stores []*core.Store
 	for n := 0; n < m.Cfg.Nodes; n++ {
-		var s *core.Store
-		var err error
-		if opts.PagedFeatures {
-			enc, encErr := featstore.ParseEncoding(opts.FeatEncoding)
-			if encErr != nil {
-				return nil, encErr
-			}
-			s, err = core.NewStorePaged(m, n, ds, featstore.Options{
-				Encoding:   enc,
-				PageRows:   opts.FeatPageRows,
-				CacheBytes: int64(opts.FeatCacheMB) << 20,
-			})
-		} else {
-			s, err = core.NewStore(m, n, ds)
-		}
+		s, err := core.NewStoreOpts(m, n, ds, so)
 		if err != nil {
 			return nil, err
 		}
@@ -483,6 +538,16 @@ func (t *Trainer) RunEpoch() EpochStats {
 				}
 			} else {
 				b, tm = t.loaders[w].BuildBatch(batches[w][it%len(batches[w])])
+				// Fault prefetch: predict the pages the NEXT batch will
+				// touch and migrate them on the copy stream while this
+				// iteration's forward/backward runs on compute.
+				if t.Opts.PrefetchPages > 0 {
+					if pp, ok := t.loaders[w].(PagePrefetcher); ok {
+						if next := it + 1; next < measured {
+							pp.PrefetchPages(batches[w][next%len(batches[w])], t.Opts.PrefetchPages)
+						}
+					}
+				}
 			}
 			timings[w] = tm
 			trainStart[w] = dev.Now()
@@ -690,7 +755,7 @@ func (t *Trainer) FeatStoreStats() featstore.Stats {
 	for _, fs := range t.FeatStores() {
 		st := fs.Stats()
 		if agg.Encoding == "" {
-			agg.Encoding, agg.PageRows = st.Encoding, st.PageRows
+			agg.Encoding, agg.PageRows, agg.Policy = st.Encoding, st.PageRows, st.Policy
 		}
 		agg.Pages += st.Pages
 		agg.EncodedBytes += st.EncodedBytes
@@ -699,6 +764,44 @@ func (t *Trainer) FeatStoreStats() featstore.Stats {
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
 		agg.Evictions += st.Evictions
+		agg.PrefetchHits += st.PrefetchHits
+		agg.AdmissionRejects += st.AdmissionRejects
+		agg.ResidentBytes += st.ResidentBytes
+	}
+	return agg
+}
+
+// TopoStores returns the paged topology stores behind the trainer's stores
+// (one per machine node); empty unless Options.PagedTopo was set.
+func (t *Trainer) TopoStores() []*topostore.Store {
+	var out []*topostore.Store
+	for _, s := range t.Stores {
+		if ts := s.TopoStore(); ts != nil {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// TopoStoreStats aggregates topology BlockCache counters across every
+// paged topology store. The zero Stats is returned when topology is
+// resident.
+func (t *Trainer) TopoStoreStats() topostore.Stats {
+	var agg topostore.Stats
+	for _, ts := range t.TopoStores() {
+		st := ts.Stats()
+		if agg.PageEdges == 0 {
+			agg.PageEdges, agg.Policy = st.PageEdges, st.Policy
+			agg.TopoBytes = st.TopoBytes
+		}
+		agg.Pages += st.Pages
+		agg.CacheBytes += st.CacheBytes
+		agg.Devices += st.Devices
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.PrefetchHits += st.PrefetchHits
+		agg.AdmissionRejects += st.AdmissionRejects
 		agg.ResidentBytes += st.ResidentBytes
 	}
 	return agg

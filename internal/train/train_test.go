@@ -296,8 +296,9 @@ func TestPagedLossyTrains(t *testing.T) {
 	}
 }
 
-// TestOutOfCoreRequiresPaged: a dataset without a feature slab is rejected
-// unless the paged store is enabled, and trains once it is.
+// TestOutOfCoreRequiresPaged: a dataset with neither feature slab nor
+// materialized CSR is rejected unless both paged stores are enabled, and
+// trains once they are.
 func TestOutOfCoreRequiresPaged(t *testing.T) {
 	ds, err := dataset.GenerateOutOfCore(dataset.OgbnProducts.Scaled(0.001))
 	if err != nil {
@@ -307,9 +308,16 @@ func TestOutOfCoreRequiresPaged(t *testing.T) {
 	if _, err := New(m, ds, smallOpts("graphsage")); err == nil {
 		t.Fatal("out-of-core dataset accepted without PagedFeatures")
 	}
+	featOnly := smallOpts("graphsage")
+	featOnly.PagedFeatures = true
+	if _, err := New(m, ds, featOnly); err == nil {
+		t.Fatal("out-of-core dataset accepted without PagedTopo")
+	}
 	opts := smallOpts("graphsage")
 	opts.PagedFeatures = true
 	opts.FeatPageRows = 64
+	opts.PagedTopo = true
+	opts.TopoPageEdges = 512
 	tr, err := New(sim.NewMachine(sim.DGXA100(1)), ds, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -317,5 +325,9 @@ func TestOutOfCoreRequiresPaged(t *testing.T) {
 	st := tr.RunEpoch()
 	if st.Iters == 0 || st.EpochTime <= 0 {
 		t.Errorf("out-of-core epoch did not run: %+v", st)
+	}
+	ts := tr.TopoStoreStats()
+	if ts.Hits+ts.Misses == 0 {
+		t.Error("out-of-core epoch recorded no topology page lookups")
 	}
 }

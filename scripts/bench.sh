@@ -20,16 +20,23 @@
 #     allocations per iteration, capture/replay counts, loss bit-identity.
 #   BENCH_featstore.json — the out-of-core headline (wgbench -exp
 #     featstore-full -scale 1.0): the papers100M-shaped graph trained
-#     end-to-end through the paged feature store at full scale — virtual
-#     epoch time, BlockCache hit rate, encoded/resident bytes, and host
-#     RSS vs the ~53 GiB flat slab it avoids. Takes a few minutes of wall
-#     clock; the flat-vs-paged ablation (abl-featstore) runs in CI and
-#     its numbers live in EXPERIMENTS.md.
+#     end-to-end through the paged feature AND topology stores at full
+#     scale, the complete 1.6 B-pair edge list served page-by-page with no
+#     cap — virtual epoch time, BlockCache hit rates, encoded/resident
+#     bytes for both stores, and host RSS vs the ~80 GiB of slabs it
+#     avoids. Takes a few minutes of wall clock; the flat-vs-paged
+#     ablation (abl-featstore) runs in CI and its numbers live in
+#     EXPERIMENTS.md.
+#   BENCH_oocgraph.json — the out-of-core topology ablation (wgbench -exp
+#     abl-oocgraph): in-RAM CSR vs paged-LRU vs paged+prefetch vs
+#     paged+prefetch+admission at a fixed 1/4 byte budget — virtual epoch
+#     times, hit rates, prefetch-hit and admission-reject counters, loss
+#     bit-identity.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json]]]]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json [oocgraph.json]]]]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,6 +46,7 @@ SERVE_OUT="${3:-BENCH_serving.json}"
 COMMS_OUT="${4:-BENCH_comms.json}"
 GRAPH_OUT="${5:-BENCH_graph.json}"
 FEAT_OUT="${6:-BENCH_featstore.json}"
+OOC_OUT="${7:-BENCH_oocgraph.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -116,3 +124,6 @@ echo "wrote $GRAPH_OUT"
 
 go run ./cmd/wgbench -exp featstore-full -scale 1.0 -json "$FEAT_OUT"
 echo "wrote $FEAT_OUT"
+
+go run ./cmd/wgbench -exp abl-oocgraph -json "$OOC_OUT"
+echo "wrote $OOC_OUT"

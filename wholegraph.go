@@ -117,11 +117,27 @@ var (
 // GenerateDataset builds the synthetic dataset described by spec.
 func GenerateDataset(spec DatasetSpec) (*Dataset, error) { return dataset.Generate(spec) }
 
-// GenerateDatasetOutOfCore builds the same dataset without materializing
-// the feature slab: rows are generated on demand, bit-identical to the
-// in-core slab. Training such a dataset requires TrainOptions.PagedFeatures.
+// GenerateDatasetOutOfCore builds a dataset with the same spec, labels and
+// splits as GenerateDataset but with neither the feature slab nor the edge
+// list materialized: features are generated per row on demand, and the
+// adjacency is a hash-defined edge source decoded per page. The topology is
+// drawn from the same degree/homophily distribution as GenerateDataset but
+// is NOT the same graph (the in-RAM generator builds its edge list by
+// global sampling; the out-of-core source defines each node's neighbors by
+// hashing). The bit-identical counterpart is MaterializeDatasetOutOfCore.
+// Training such a dataset requires TrainOptions.PagedFeatures and
+// TrainOptions.PagedTopo (wgtrain -out-of-core sets both).
 func GenerateDatasetOutOfCore(spec DatasetSpec) (*Dataset, error) {
 	return dataset.GenerateOutOfCore(spec)
+}
+
+// MaterializeDatasetOutOfCore builds the in-RAM twin of
+// GenerateDatasetOutOfCore(spec): the same adjacency, features, labels and
+// splits, materialized as a flat CSR and feature slab. Training over it is
+// bit-identical to paged training over the out-of-core dataset. Only viable
+// at scales that fit in host memory, by design.
+func MaterializeDatasetOutOfCore(spec DatasetSpec) (*Dataset, error) {
+	return dataset.MaterializeOutOfCore(spec)
 }
 
 // LoadDataset reads a dataset saved with Dataset.SaveFile (or wggen -save).
@@ -154,6 +170,20 @@ type Store = core.Store
 // the one-time allocation and IPC setup cost.
 func NewStore(m *Machine, node int, ds *Dataset) (*Store, error) {
 	return core.NewStore(m, node, ds)
+}
+
+// StoreOptions selects the storage backends of a store: flat slabs (zero
+// value), the paged out-of-core feature store, and/or the paged out-of-core
+// topology store. Decoded values are bit-identical across all combinations
+// (with the raw feature encoding): paging changes virtual time and cache
+// hit rates, never training results.
+type StoreOptions = core.StoreOptions
+
+// NewStoreWithOptions is NewStore with explicit storage backends.
+// Out-of-core datasets (GenerateDatasetOutOfCore) require PagedFeatures and
+// PagedTopo.
+func NewStoreWithOptions(m *Machine, node int, ds *Dataset, opts StoreOptions) (*Store, error) {
+	return core.NewStoreOpts(m, node, ds, opts)
 }
 
 // --- Ops ---
