@@ -8,6 +8,7 @@
 //	wgserve -rate 50000 -max-batch 16 -slo 0.01
 //	wgserve -replicas 8 -cache-rows 500 -skew 1.3 -policy cache
 //	wgserve -max-batch 1 -json single.json   # unbatched baseline
+//	wgserve -workload retrieval -topk 10 -ef-search 64   # ANN top-K serving
 package main
 
 import (
@@ -39,6 +40,9 @@ func main() {
 		cacheRows = flag.Int("cache-rows", 0, "per-replica hot-node feature cache size in rows (0 = no cache)")
 		skew      = flag.Float64("skew", 0, "Zipf popularity skew over the degree ranking (>1; 0 = uniform)")
 		policy    = flag.String("policy", "cache", "routing policy: cache, owner, rr")
+		workload  = flag.String("workload", "inference", "workload: inference (node classification) or retrieval (ANN top-K over embeddings)")
+		topk      = flag.Int("topk", 10, "retrieval: neighbors returned per query")
+		efSearch  = flag.Int("ef-search", 64, "retrieval: HNSW search beam width")
 		seed      = flag.Int64("seed", 1, "random seed (fixes arrivals, nodes and sampling)")
 		jsonPath  = flag.String("json", "", "write the aggregated result as JSON to this path")
 		trace     = flag.Bool("trace", false, "print the per-request trace")
@@ -77,14 +81,42 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("model %q does not support layer-wise serving", *model))
 	}
-	srv, err := wholegraph.NewServer(machine, 0, ds, lw, wholegraph.ServeOptions{
+	sopts := wholegraph.ServeOptions{
 		Rate: *rate, Requests: *requests, MaxBatch: *maxBatch,
 		MaxDelay: *maxDelay, SLO: *slo, Deadline: *deadline,
 		QueueCap: *queueCap, CacheRows: *cacheRows, Fanouts: fanouts,
 		Skew: *skew, Policy: wholegraph.ServePolicy(*policy), Seed: *seed,
 		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
 		FeatPageRows: *featRows, FeatCacheMB: *featCache, CachePolicy: *cachePol,
-	})
+	}
+	var srv *wholegraph.Server
+	switch *workload {
+	case wholegraph.WorkloadInference:
+		srv, err = wholegraph.NewServer(machine, 0, ds, lw, sopts)
+	case wholegraph.WorkloadRetrieval:
+		// Retrieval serves top-K neighbors out of an HNSW index over the
+		// model's final-layer embeddings: embed the whole graph layer-wise,
+		// index the rows, then serve. Embedding and index construction are
+		// part of the reported setup time.
+		store, serr := wholegraph.NewStore(machine, 0, ds)
+		if serr != nil {
+			fatal(serr)
+		}
+		fmt.Printf("embedding %d nodes and building the HNSW index...\n", spec.Nodes)
+		emb, eerr := wholegraph.FullGraphEmbeddings(store, lw)
+		if eerr != nil {
+			fatal(eerr)
+		}
+		ix, berr := wholegraph.BuildANNIndex(store.Comm, emb, wholegraph.ANNOptions{Seed: *seed})
+		if berr != nil {
+			fatal(berr)
+		}
+		sopts.TopK = *topk
+		sopts.EfSearch = *efSearch
+		srv, err = wholegraph.NewRetrievalServer(ix, sopts)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -117,6 +149,9 @@ func main() {
 	fmt.Printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms, max %.3f ms\n",
 		res.P50*1e3, res.P95*1e3, res.P99*1e3, res.MeanLatency*1e3, res.MaxLatency*1e3)
 	fmt.Printf("SLO %.1f ms: %.1f%% of served within\n", res.SLO*1e3, 100*res.SLOAttainment)
+	if res.TopK > 0 {
+		fmt.Printf("recall@%d: %.3f mean over served (ef-search %d)\n", res.TopK, res.Recall, res.EfSearch)
+	}
 	for _, st := range res.PerReplica {
 		line := fmt.Sprintf("  replica %d: %d reqs (%d served, %d shed, %d t/out), %d batches, busy %.2f/%.2f ms compute/copy",
 			st.Replica, st.Requests, st.Served, st.Shed, st.TimedOut,

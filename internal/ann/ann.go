@@ -1,0 +1,434 @@
+// Package ann implements approximate nearest-neighbor retrieval over GNN
+// embeddings: a deterministic, pure-Go HNSW index (Malkov & Yashunin,
+// "Efficient and robust approximate nearest neighbor search using
+// Hierarchical Navigable Small World graphs") built on the final-layer
+// output of internal/infer and queried through the simulated device model.
+//
+// The index follows the repo's simulation contract: every distance is
+// really computed on the host, and the traffic it implies is charged to a
+// virtual device. Vectors live in a wholemem shared allocation sharded
+// row-aligned across the communicator, so a search running on rank r pays
+// HBM random-access bytes for rows in r's shard and NVLink peer-access
+// bytes (at the row's segment size, i.e. the Figure 8 bandwidth point) for
+// everything else, plus streamed adjacency bytes and 3·dim FLOPs per L2
+// distance. One logical search is one kernel launch; batched searches
+// (SearchMany) amortize the launch like a real batched query kernel.
+//
+// Construction is parallelized across the communicator's devices under the
+// sim.RunParallel ownership model without giving up determinism: nodes are
+// inserted in ID order in geometrically growing rounds, each round
+// searching the graph *frozen* at the round boundary (read-only, so any
+// rank may search concurrently) and then applying all link updates
+// serially in ID order from the orchestrator. Because the frozen-graph
+// searches depend only on the round boundaries — never on which rank ran
+// them — the resulting graph and every device clock are bit-identical
+// serial or parallel, for any device count.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"wholegraph/internal/sim"
+	"wholegraph/internal/tensor"
+	"wholegraph/internal/wholemem"
+)
+
+// maxLevelCap bounds the geometric level draw so a pathological uniform
+// sample cannot allocate an absurd tower (2^30 expected nodes per level at
+// the cap; unreachable at any realistic index size).
+const maxLevelCap = 30
+
+// Options configures index construction and the search default. Zero
+// values take defaults via Normalize.
+type Options struct {
+	// M caps each node's neighbor list on levels >= 1 (default 12).
+	M int
+	// M0 caps level-0 neighbor lists (default 2*M).
+	M0 int
+	// EfConstruction is the beam width of insertion searches (default 100).
+	EfConstruction int
+	// EfSearch is the query beam width used when a search passes ef <= 0
+	// (default 64).
+	EfSearch int
+	// LevelMult scales the geometric level distribution: a node's level is
+	// floor(-ln(u) * LevelMult) (default 1/ln(M), the paper's choice).
+	LevelMult float64
+	// Seed fixes the level draw; two indexes over the same vectors with
+	// the same Options are identical (default 1).
+	Seed int64
+	// RoundCap bounds how many nodes one frozen-graph build round inserts
+	// (default 1024). Rounds grow geometrically 1, 2, 4, ... up to the
+	// cap, so early inserts see a well-connected graph while the bulk of
+	// the build still parallelizes across the communicator.
+	RoundCap int
+}
+
+// Normalize fills defaults.
+func (o Options) Normalize() Options {
+	if o.M == 0 {
+		o.M = 12
+	}
+	if o.M0 == 0 {
+		o.M0 = 2 * o.M
+	}
+	if o.EfConstruction == 0 {
+		o.EfConstruction = 100
+	}
+	if o.EfSearch == 0 {
+		o.EfSearch = 64
+	}
+	if o.LevelMult == 0 {
+		o.LevelMult = 1 / math.Log(float64(o.M))
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RoundCap == 0 {
+		o.RoundCap = 1024
+	}
+	return o
+}
+
+// Validate rejects unusable option combinations.
+func (o Options) Validate() error {
+	switch {
+	case o.M < 2:
+		return fmt.Errorf("ann: M must be >= 2, got %d", o.M)
+	case o.M0 < o.M:
+		return fmt.Errorf("ann: M0 (%d) must be >= M (%d)", o.M0, o.M)
+	case o.EfConstruction < 1:
+		return fmt.Errorf("ann: EfConstruction must be >= 1, got %d", o.EfConstruction)
+	case o.EfSearch < 1:
+		return fmt.Errorf("ann: EfSearch must be >= 1, got %d", o.EfSearch)
+	case o.LevelMult < 0:
+		return fmt.Errorf("ann: LevelMult must be >= 0, got %g", o.LevelMult)
+	case o.RoundCap < 1:
+		return fmt.Errorf("ann: RoundCap must be >= 1, got %d", o.RoundCap)
+	}
+	return nil
+}
+
+// Result is one retrieved neighbor: the vector's row ID and its squared L2
+// distance to the query. Ties order by (Dist, ID).
+type Result struct {
+	ID   int64   `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// Index is an immutable-after-Build HNSW index over N dim-dimensional
+// vectors. Searches on distinct communicator ranks may run concurrently
+// (per-rank scratch); the graph itself is read-only after Build.
+type Index struct {
+	Opts Options
+
+	n, dim      int
+	comm        *wholemem.Comm
+	vecs        *wholemem.Memory[float32]
+	host        []float32 // row-major [n x dim] host view (aliases the Build input)
+	rowsPerRank int64
+
+	levels   []int32
+	maxLevel int32
+	entry    int64 // node with the highest level; -1 while empty
+	// links[l][v] is v's neighbor list at level l (nil above v's level).
+	links [][][]int32
+
+	scratch []*searchScratch // one per communicator rank
+}
+
+// N returns the number of indexed vectors.
+func (ix *Index) N() int { return ix.n }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Comm returns the communicator the vector shards are allocated over.
+func (ix *Index) Comm() *wholemem.Comm { return ix.comm }
+
+// MaxLevel returns the top layer of the hierarchy.
+func (ix *Index) MaxLevel() int { return int(ix.maxLevel) }
+
+// Entry returns the entry-point node (the one drawn at MaxLevel).
+func (ix *Index) Entry() int64 { return ix.entry }
+
+// Level returns node v's drawn level.
+func (ix *Index) Level(v int64) int { return int(ix.levels[v]) }
+
+// Neighbors returns node v's neighbor list at the given level (nil above
+// v's level). The returned slice is the index's own storage: read-only.
+func (ix *Index) Neighbors(level int, v int64) []int32 {
+	if level >= len(ix.links) {
+		return nil
+	}
+	return ix.links[level][v]
+}
+
+// RankOfRow returns the communicator rank whose shard holds row v.
+func (ix *Index) RankOfRow(v int64) int {
+	r := int(v / ix.rowsPerRank)
+	if r >= ix.comm.Size() {
+		r = ix.comm.Size() - 1
+	}
+	return r
+}
+
+// Vector returns the host view of row v (read-only).
+func (ix *Index) Vector(v int64) []float32 {
+	return ix.host[int(v)*ix.dim : (int(v)+1)*ix.dim]
+}
+
+// GatherQueries gathers the embedding rows of ids into dst (len(ids)*dim
+// elements) through the shared vector table, charging dev for the gather —
+// the staging step of a retrieval batch, meant for the copy stream.
+func (ix *Index) GatherQueries(dev *sim.Device, ids []int64, dst []float32) {
+	ix.vecs.GatherRows(dev, ids, ix.dim, dst, "ann.queries")
+}
+
+// degreeCap returns the neighbor-list cap at a level.
+func (ix *Index) degreeCap(level int) int {
+	if level == 0 {
+		return ix.Opts.M0
+	}
+	return ix.Opts.M
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used
+// to derive each node's level from (seed, id) independently of insertion
+// order, worker count, and device count.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// levelFor draws node id's level: geometric via inverse-CDF of an
+// exponential, floor(-ln(u) * mult).
+func levelFor(seed, id int64, mult float64) int32 {
+	z := splitmix64(uint64(seed)<<32 ^ uint64(id)*0x2545F4914F6CDD1D)
+	// 53 uniform bits in (0, 1]; the +1 keeps u > 0 so ln is finite.
+	u := (float64(z>>11) + 1) / (1 << 53)
+	l := int32(-math.Log(u) * mult)
+	if l < 0 {
+		l = 0
+	}
+	if l > maxLevelCap {
+		l = maxLevelCap
+	}
+	return l
+}
+
+// Build constructs an HNSW index over the rows of emb (an [N x dim] host
+// matrix, typically infer.Embeddings output). The vectors are placed in a
+// row-aligned wholemem shared allocation over comm — charging the IPC
+// setup like every store — and construction runs in frozen-graph rounds
+// whose insertion searches fan out across comm's devices under
+// sim.RunParallel, each device paying for the distances it computed. The
+// index (graph, entry point, and per-device virtual time) is bit-identical
+// whether the rounds run serially or in parallel. The index aliases emb's
+// storage; the caller must not mutate it afterwards.
+func Build(comm *wholemem.Comm, emb *tensor.Dense, opts Options) (*Index, error) {
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if emb == nil || emb.R == 0 || emb.C == 0 {
+		return nil, fmt.Errorf("ann: empty embedding matrix")
+	}
+	n, dim := emb.R, emb.C
+	ranks := comm.Size()
+	rowsPer := (int64(n) + int64(ranks) - 1) / int64(ranks)
+	sizes := make([]int64, ranks)
+	left := int64(n)
+	for r := range sizes {
+		s := rowsPer
+		if s > left {
+			s = left
+		}
+		sizes[r] = s * int64(dim)
+		left -= s
+	}
+	ix := &Index{
+		Opts:        opts,
+		n:           n,
+		dim:         dim,
+		comm:        comm,
+		vecs:        wholemem.AllocSharded[float32](comm, sizes),
+		host:        emb.V,
+		rowsPerRank: rowsPer,
+		levels:      make([]int32, n),
+		entry:       -1,
+	}
+	ix.vecs.FillFrom(emb.V)
+	maxL := int32(0)
+	for v := 0; v < n; v++ {
+		l := levelFor(opts.Seed, int64(v), opts.LevelMult)
+		ix.levels[v] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	for l := int32(0); l <= maxL; l++ {
+		ix.links = append(ix.links, make([][]int32, n))
+	}
+	ix.scratch = make([]*searchScratch, ranks)
+	for r := range ix.scratch {
+		ix.scratch[r] = newSearchScratch(n)
+	}
+
+	plans := make([]insertPlan, 0, opts.RoundCap)
+	fixups := make([]searchStats, ranks)
+	lo, size := 0, 1
+	for lo < n {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ix.buildRound(lo, hi, plans[:0], fixups)
+		lo = hi
+		if size < opts.RoundCap {
+			size *= 2
+			if size > opts.RoundCap {
+				size = opts.RoundCap
+			}
+		}
+	}
+	return ix, nil
+}
+
+// insertPlan is one node's planned links, produced against the frozen
+// graph in the parallel phase and applied serially.
+type insertPlan struct {
+	id int64
+	// sel[l] is the diversity-pruned neighbor selection at level l
+	// (l <= min(node level, frozen max level)).
+	sel [][]int32
+}
+
+// buildRound inserts nodes [lo, hi): phase A searches the frozen graph in
+// parallel across the communicator's devices (node v is planned by rank
+// v mod ranks, each rank charging one insertion kernel per node it plans);
+// phase B applies the plans serially in ID order, accumulating the
+// reverse-edge pruning traffic per rank and flushing it as one fixup
+// kernel per rank at the round boundary.
+func (ix *Index) buildRound(lo, hi int, plans []insertPlan, fixups []searchStats) {
+	devs := ix.comm.Devs
+	ranks := len(devs)
+	plans = plans[:hi-lo]
+	sim.RunParallel(ranks, func(r int) {
+		dev := devs[r]
+		sc := ix.scratch[r]
+		for v := lo; v < hi; v++ {
+			if v%ranks != r {
+				continue
+			}
+			var st searchStats
+			plans[v-lo] = ix.planInsert(r, sc, &st, int64(v))
+			ix.flush(dev, &st, "ann.insert")
+		}
+	})
+	for i := range plans {
+		ix.applyInsert(&plans[i], &fixups[int(plans[i].id)%ranks])
+	}
+	for r, dev := range devs {
+		ix.flush(dev, &fixups[r], "ann.fixup")
+	}
+}
+
+// planInsert runs node id's insertion searches against the frozen graph:
+// greedy descent from the entry point through the levels above the node's,
+// then an efConstruction beam search plus diversity selection at each
+// level the node joins. It mutates only rank-owned scratch.
+func (ix *Index) planInsert(rank int, sc *searchScratch, st *searchStats, id int64) insertPlan {
+	plan := insertPlan{id: id}
+	if ix.entry < 0 {
+		return plan // first node: becomes the entry with no links
+	}
+	q := ix.Vector(id)
+	level := int(ix.levels[id])
+	top := int(ix.maxLevel)
+	ep := ix.entry
+	epD := ix.dist(rank, st, q, ep)
+	for l := top; l > level; l-- {
+		ep, epD = ix.greedy(rank, st, q, ep, epD, l)
+	}
+	joinTop := level
+	if joinTop > top {
+		joinTop = top
+	}
+	plan.sel = make([][]int32, joinTop+1)
+	for l := joinTop; l >= 0; l-- {
+		cands := ix.searchLayer(rank, sc, st, q, ep, epD, l, ix.Opts.EfConstruction)
+		plan.sel[l] = ix.selectNeighbors(rank, st, cands, ix.degreeCap(l),
+			make([]int32, 0, ix.degreeCap(l)))
+		ep, epD = cands[0].id, cands[0].d
+	}
+	return plan
+}
+
+// applyInsert installs one plan: forward links, reverse edges, and
+// overflow pruning with the same diversity heuristic. Runs serially in ID
+// order; the pruning distances accrue to the planning rank's fixup stats.
+func (ix *Index) applyInsert(plan *insertPlan, st *searchStats) {
+	id := plan.id
+	for l, sel := range plan.sel {
+		lst := make([]int32, len(sel), ix.degreeCap(l)+1)
+		copy(lst, sel)
+		ix.links[l][id] = lst
+		for _, nb := range sel {
+			ix.addLink(l, int64(nb), id, st)
+		}
+	}
+	if ix.entry < 0 || ix.levels[id] > ix.maxLevel {
+		ix.entry = id
+		ix.maxLevel = ix.levels[id]
+	}
+}
+
+// addLink appends a reverse edge id to node nb's level-l list, re-running
+// the diversity selection over the overflowing list when it exceeds the
+// degree cap.
+func (ix *Index) addLink(level int, nb, id int64, st *searchStats) {
+	lst := append(ix.links[level][nb], int32(id))
+	cap := ix.degreeCap(level)
+	if len(lst) <= cap {
+		ix.links[level][nb] = lst
+		return
+	}
+	// Rank nb's neighbors by distance to nb and keep the diverse prefix.
+	rank := ix.RankOfRow(nb) // pruning reads nb's row from its own shard's rank perspective
+	nv := ix.Vector(nb)
+	ix.countRow(st, rank, nb)
+	cands := make([]heapItem, len(lst))
+	for i, v := range lst {
+		cands[i] = heapItem{d: ix.dist(rank, st, nv, int64(v)), id: int64(v)}
+	}
+	sortItems(cands)
+	ix.links[level][nb] = ix.selectNeighbors(rank, st, cands, cap, lst[:0])
+}
+
+// selectNeighbors is the HNSW neighbor-diversity heuristic: walk the
+// candidates in ascending distance and keep one only if it is closer to
+// the query than to every neighbor already kept, so the list spans
+// directions instead of crowding one cluster.
+func (ix *Index) selectNeighbors(rank int, st *searchStats, cands []heapItem, cap int, dst []int32) []int32 {
+	for _, c := range cands {
+		if len(dst) >= cap {
+			break
+		}
+		keep := true
+		for _, s := range dst {
+			ix.countRow(st, rank, c.id)
+			ix.countRow(st, rank, int64(s))
+			if ix.l2(ix.Vector(c.id), ix.Vector(int64(s)), st) < c.d {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			dst = append(dst, int32(c.id))
+		}
+	}
+	return dst
+}

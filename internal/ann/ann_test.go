@@ -1,0 +1,265 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+
+	"wholegraph/internal/sim"
+	"wholegraph/internal/tensor"
+	"wholegraph/internal/wholemem"
+)
+
+// clustered builds an [n x dim] matrix of points around k Gaussian cluster
+// centers — the structured geometry HNSW is supposed to exploit.
+func clustered(n, dim, k int, seed int64) *tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, k)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for j := range centers[c] {
+			centers[c][j] = float32(rng.NormFloat64())
+		}
+	}
+	emb := tensor.New(n, dim)
+	for i := 0; i < n; i++ {
+		center := centers[rng.Intn(k)]
+		row := emb.Row(i)
+		for j := range row {
+			row[j] = center[j] + 0.1*float32(rng.NormFloat64())
+		}
+	}
+	return emb
+}
+
+func newTestIndex(t *testing.T, emb *tensor.Dense, opts Options) (*sim.Machine, *Index) {
+	t.Helper()
+	m := sim.NewMachine(sim.DGXA100(1))
+	comm, err := wholemem.NewComm(m.NodeDevs(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(comm, emb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ix
+}
+
+func TestBruteMatchesExact(t *testing.T) {
+	emb := clustered(500, 8, 10, 3)
+	m, ix := newTestIndex(t, emb, Options{})
+	dev := m.Devs[2]
+	before := dev.Now()
+	for qi := 0; qi < 20; qi++ {
+		q := emb.Row(qi * 17 % emb.R)
+		got := ix.BruteSearch(dev, q, 10)
+		want := ix.Exact(q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: brute returned %d results, exact %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: brute %+v != exact %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	if dev.Now() <= before {
+		t.Fatal("BruteSearch charged no virtual time")
+	}
+}
+
+func TestRecallOnClusteredEmbeddings(t *testing.T) {
+	emb := clustered(4000, 16, 25, 7)
+	m, ix := newTestIndex(t, emb, Options{M: 12, EfConstruction: 100})
+	dev := m.Devs[0]
+	queries := 200
+	var recall float64
+	for qi := 0; qi < queries; qi++ {
+		q := emb.Row((qi * 31) % emb.R)
+		got := ix.Search(dev, q, 10, 64)
+		recall += Recall(got, ix.Exact(q, 10))
+	}
+	recall /= float64(queries)
+	if recall < 0.9 {
+		t.Fatalf("recall@10 = %.3f at ef=64 on clustered data, want >= 0.9", recall)
+	}
+	// A wider beam can only search more of the graph.
+	var wide float64
+	for qi := 0; qi < 50; qi++ {
+		q := emb.Row((qi * 31) % emb.R)
+		wide += Recall(ix.Search(dev, q, 10, 256), ix.Exact(q, 10))
+	}
+	wide /= 50
+	if wide < recall-0.05 {
+		t.Fatalf("recall fell from %.3f to %.3f when ef grew 64 -> 256", recall, wide)
+	}
+}
+
+// buildFingerprint captures everything the build produced: the graph, the
+// entry point, and the per-device virtual clocks.
+func buildFingerprint(m *sim.Machine, ix *Index) (levels []int32, entry int64, links [][][]int32, clocks []float64) {
+	levels = append(levels, ix.levels...)
+	entry = ix.entry
+	links = make([][][]int32, len(ix.links))
+	for l := range ix.links {
+		links[l] = make([][]int32, ix.n)
+		for v := 0; v < ix.n; v++ {
+			links[l][v] = append([]int32(nil), ix.Neighbors(l, int64(v))...)
+		}
+	}
+	for _, d := range m.Devs {
+		clocks = append(clocks, d.Now())
+	}
+	return
+}
+
+func TestBuildDeterministicSerialVsParallel(t *testing.T) {
+	emb := clustered(1500, 12, 10, 11)
+	opts := Options{M: 8, EfConstruction: 48, Seed: 5}
+
+	prev := sim.SetParallel(false)
+	mSer, ixSer := newTestIndex(t, emb.Clone(), opts)
+	sim.SetParallel(true)
+	mPar, ixPar := newTestIndex(t, emb.Clone(), opts)
+	sim.SetParallel(prev)
+
+	lSer, eSer, gSer, cSer := buildFingerprint(mSer, ixSer)
+	lPar, ePar, gPar, cPar := buildFingerprint(mPar, ixPar)
+	if eSer != ePar {
+		t.Fatalf("entry point differs: serial %d, parallel %d", eSer, ePar)
+	}
+	for v := range lSer {
+		if lSer[v] != lPar[v] {
+			t.Fatalf("node %d level differs: serial %d, parallel %d", v, lSer[v], lPar[v])
+		}
+	}
+	if len(gSer) != len(gPar) {
+		t.Fatalf("level count differs: serial %d, parallel %d", len(gSer), len(gPar))
+	}
+	for l := range gSer {
+		for v := range gSer[l] {
+			a, b := gSer[l][v], gPar[l][v]
+			if len(a) != len(b) {
+				t.Fatalf("level %d node %d degree differs: serial %v, parallel %v", l, v, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("level %d node %d neighbors differ: serial %v, parallel %v", l, v, a, b)
+				}
+			}
+		}
+	}
+	for i := range cSer {
+		if cSer[i] != cPar[i] {
+			t.Fatalf("device %d clock differs: serial %v, parallel %v", i, cSer[i], cPar[i])
+		}
+	}
+
+	// Searches against bit-identical graphs return bit-identical results.
+	for qi := 0; qi < 25; qi++ {
+		q := emb.Row(qi * 13 % emb.R)
+		a := ixSer.Search(mSer.Devs[1], q, 10, 32)
+		b := ixPar.Search(mPar.Devs[1], q, 10, 32)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result count differs", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: %+v != %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBuildDeterministicAcrossSeeds(t *testing.T) {
+	emb := clustered(800, 8, 6, 2)
+	_, a := newTestIndex(t, emb.Clone(), Options{Seed: 3})
+	_, b := newTestIndex(t, emb.Clone(), Options{Seed: 3})
+	_, c := newTestIndex(t, emb.Clone(), Options{Seed: 4})
+	for v := 0; v < a.n; v++ {
+		if a.levels[v] != b.levels[v] {
+			t.Fatalf("same seed, node %d level %d != %d", v, a.levels[v], b.levels[v])
+		}
+	}
+	diff := false
+	for v := 0; v < a.n && !diff; v++ {
+		diff = a.levels[v] != c.levels[v]
+	}
+	if !diff {
+		t.Fatal("seeds 3 and 4 drew identical level assignments for 800 nodes")
+	}
+}
+
+func TestGraphInvariants(t *testing.T) {
+	emb := clustered(2000, 10, 8, 9)
+	_, ix := newTestIndex(t, emb, Options{M: 6, EfConstruction: 40})
+	if int(ix.levels[ix.entry]) != ix.MaxLevel() {
+		t.Fatalf("entry node %d has level %d, index max level is %d",
+			ix.entry, ix.levels[ix.entry], ix.MaxLevel())
+	}
+	for l := 0; l <= ix.MaxLevel(); l++ {
+		cap := ix.degreeCap(l)
+		for v := int64(0); v < int64(ix.n); v++ {
+			nbs := ix.Neighbors(l, v)
+			if int(ix.levels[v]) < l {
+				if nbs != nil {
+					t.Fatalf("node %d (level %d) has links at level %d", v, ix.levels[v], l)
+				}
+				continue
+			}
+			if len(nbs) > cap {
+				t.Fatalf("node %d level %d degree %d exceeds cap %d", v, l, len(nbs), cap)
+			}
+			for _, nb := range nbs {
+				if int64(nb) == v {
+					t.Fatalf("node %d has a self-link at level %d", v, l)
+				}
+				if nb < 0 || int(nb) >= ix.n {
+					t.Fatalf("node %d level %d links out-of-range node %d", v, l, nb)
+				}
+				if int(ix.levels[nb]) < l {
+					t.Fatalf("node %d level %d links node %d whose level is only %d",
+						v, l, nb, ix.levels[nb])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchChargesLocalAndRemoteTraffic(t *testing.T) {
+	emb := clustered(3000, 16, 12, 5)
+	m, ix := newTestIndex(t, emb, Options{})
+	dev := m.Devs[0]
+	m.Reset()
+	for qi := 0; qi < 10; qi++ {
+		ix.Search(dev, emb.Row(qi*101%emb.R), 10, 64)
+	}
+	if dev.Now() <= 0 {
+		t.Fatal("searches charged no virtual time")
+	}
+	if dev.Stats.LocalBytes <= 0 || dev.Stats.RemoteBytes <= 0 {
+		t.Fatalf("expected both local and remote traffic over an 8-way shard, got local=%g remote=%g",
+			dev.Stats.LocalBytes, dev.Stats.RemoteBytes)
+	}
+	if dev.Stats.FLOPs <= 0 {
+		t.Fatal("searches charged no FLOPs")
+	}
+}
+
+func TestExactNodesMatchesExact(t *testing.T) {
+	emb := clustered(600, 8, 5, 13)
+	_, ix := newTestIndex(t, emb, Options{})
+	ids := []int64{0, 17, 599, 300, 17}
+	many := ix.ExactNodes(ids, 10)
+	for i, id := range ids {
+		want := ix.Exact(ix.Vector(id), 10)
+		if len(many[i]) != len(want) {
+			t.Fatalf("id %d: %d results vs %d", id, len(many[i]), len(want))
+		}
+		for j := range want {
+			if many[i][j] != want[j] {
+				t.Fatalf("id %d result %d: %+v != %+v", id, j, many[i][j], want[j])
+			}
+		}
+	}
+}

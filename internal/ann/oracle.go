@@ -1,0 +1,113 @@
+package ann
+
+import (
+	"runtime"
+
+	"wholegraph/internal/sim"
+)
+
+// The brute-force oracle, in two flavors: BruteSearch is the charged exact
+// scan — what a GPU without an index would run per query, the baseline the
+// recall-vs-latency ablation compares HNSW against — and Exact/ExactNodes
+// are uncharged host-side twins used as ground truth for recall.
+
+// exactInto computes the exact top-k of q over all rows by a full scan,
+// appending to dst. The maintained set is the lexicographically least
+// (Dist, ID) k-set, so ties are deterministic.
+func (ix *Index) exactInto(q []float32, k int, h *maxHeap, dst []Result) []Result {
+	h.reset()
+	var st searchStats // discarded: callers charge the scan wholesale
+	for v := 0; v < ix.n; v++ {
+		d := ix.l2(q, ix.Vector(int64(v)), &st)
+		it := heapItem{d, int64(v)}
+		if h.len() < k {
+			h.push(it)
+		} else if itemLess(it, h.top()) {
+			h.pop()
+			h.push(it)
+		}
+	}
+	items := append([]heapItem(nil), h.a...)
+	sortItems(items)
+	for _, it := range items {
+		dst = append(dst, Result{ID: it.id, Dist: it.d})
+	}
+	return dst
+}
+
+// Exact returns the exact top-k neighbors of q by full host-side scan,
+// charging nothing — the ground-truth oracle for recall measurement.
+func (ix *Index) Exact(q []float32, k int) []Result {
+	var h maxHeap
+	return ix.exactInto(q, k, &h, make([]Result, 0, k))
+}
+
+// ExactNodes computes the exact top-k for many node-ID queries at once,
+// fanning the host scans across goroutines under sim.RunParallel (worker
+// slots own disjoint result stripes, so the output is identical for any
+// worker count or with parallelism disabled). Uncharged, like Exact.
+func (ix *Index) ExactNodes(ids []int64, k int) [][]Result {
+	out := make([][]Result, len(ids))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	sim.RunParallel(workers, func(w int) {
+		var h maxHeap
+		for i := w; i < len(ids); i += workers {
+			out[i] = ix.exactInto(ix.Vector(ids[i]), k, &h, make([]Result, 0, k))
+		}
+	})
+	return out
+}
+
+// BruteSearch answers one exact top-k query on dev, charging the full
+// table scan: every row streams through the device — its own shard from
+// local HBM, the rest over NVLink peer access at row-segment granularity —
+// with 3·dim FLOPs per distance. Results equal Exact's bit-for-bit.
+func (ix *Index) BruteSearch(dev *sim.Device, q []float32, k int) []Result {
+	rank := ix.mustRank(dev)
+	var h maxHeap
+	out := ix.exactInto(q, k, &h, make([]Result, 0, k))
+	rowBytes := float64(ix.dim * 4)
+	local := ix.shardRows(rank)
+	dev.Kernel(sim.KernelCost{
+		FLOPs:          3 * float64(ix.dim) * float64(ix.n),
+		StreamBytes:    float64(local) * rowBytes,
+		RemoteBytes:    float64(int64(ix.n)-local) * rowBytes,
+		RemoteSegBytes: rowBytes,
+		Tag:            "ann.brute",
+	})
+	return out
+}
+
+// shardRows returns how many vector rows rank r's shard holds.
+func (ix *Index) shardRows(r int) int64 {
+	lo := int64(r) * ix.rowsPerRank
+	hi := lo + ix.rowsPerRank
+	if hi > int64(ix.n) {
+		hi = int64(ix.n)
+	}
+	if lo > hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// Recall returns |approx ∩ exact| / |exact| by ID — recall@k when exact
+// holds the true top-k.
+func Recall(approx, exact []Result) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, e := range exact {
+		for _, a := range approx {
+			if a.ID == e.ID {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

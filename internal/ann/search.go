@@ -1,0 +1,333 @@
+package ann
+
+import (
+	"fmt"
+	"sort"
+
+	"wholegraph/internal/sim"
+)
+
+// searchStats accumulates one kernel's traffic: distance evaluations,
+// vector rows read (split local/remote relative to the charged rank), and
+// adjacency bytes streamed. flush converts it into one Kernel charge.
+type searchStats struct {
+	dists      int64
+	localRows  int64
+	remoteRows int64
+	edgeBytes  int64
+}
+
+// countRow records a read of row v from rank's perspective: rows in the
+// rank's own shard are local HBM traffic, the rest cross NVLink.
+func (ix *Index) countRow(st *searchStats, rank int, v int64) {
+	if ix.RankOfRow(v) == rank {
+		st.localRows++
+	} else {
+		st.remoteRows++
+	}
+}
+
+// l2 computes the squared L2 distance between two vectors and counts the
+// evaluation. Row reads are counted by the caller (the query side is
+// usually already in registers).
+func (ix *Index) l2(a, b []float32, st *searchStats) float32 {
+	st.dists++
+	var s float32
+	b = b[:len(a)]
+	for j, av := range a {
+		d := av - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// dist computes the squared L2 distance from query q to row v, counting
+// the distance and v's row read.
+func (ix *Index) dist(rank int, st *searchStats, q []float32, v int64) float32 {
+	ix.countRow(st, rank, v)
+	return ix.l2(q, ix.Vector(v), st)
+}
+
+// flush charges dev for the accumulated traffic as one kernel and resets
+// the stats. A search that touched nothing charges nothing.
+func (ix *Index) flush(dev *sim.Device, st *searchStats, tag string) float64 {
+	if st.dists == 0 && st.localRows == 0 && st.remoteRows == 0 && st.edgeBytes == 0 {
+		return 0
+	}
+	rowBytes := float64(ix.dim * 4)
+	dt := dev.Kernel(sim.KernelCost{
+		FLOPs:          3 * float64(ix.dim) * float64(st.dists),
+		StreamBytes:    float64(st.edgeBytes),
+		RandBytes:      float64(st.localRows) * rowBytes,
+		RemoteBytes:    float64(st.remoteRows) * rowBytes,
+		RemoteSegBytes: rowBytes,
+		Tag:            tag,
+	})
+	*st = searchStats{}
+	return dt
+}
+
+// heapItem orders by (d, id) ascending — the total order every queue and
+// tie-break in the package uses, so results are deterministic even among
+// exactly equal distances.
+type heapItem struct {
+	d  float32
+	id int64
+}
+
+func itemLess(a, b heapItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.id < b.id
+}
+
+func sortItems(items []heapItem) {
+	sort.Slice(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
+}
+
+// minHeap pops the closest item first (the expansion frontier).
+type minHeap struct{ a []heapItem }
+
+func (h *minHeap) reset()   { h.a = h.a[:0] }
+func (h *minHeap) len() int { return len(h.a) }
+func (h *minHeap) push(x heapItem) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+func (h *minHeap) pop() heapItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && itemLess(h.a[l], h.a[m]) {
+			m = l
+		}
+		if r < last && itemLess(h.a[r], h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}
+
+// maxHeap keeps the ef best seen so far, worst on top for cheap eviction.
+type maxHeap struct{ a []heapItem }
+
+func (h *maxHeap) reset()        { h.a = h.a[:0] }
+func (h *maxHeap) len() int      { return len(h.a) }
+func (h *maxHeap) top() heapItem { return h.a[0] }
+func (h *maxHeap) push(x heapItem) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(h.a[p], h.a[i]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+func (h *maxHeap) pop() heapItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && itemLess(h.a[m], h.a[l]) {
+			m = l
+		}
+		if r < last && itemLess(h.a[m], h.a[r]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}
+
+// searchScratch is one rank's reusable search working set. Visited marks
+// use an epoch counter so clearing is O(1) per search.
+type searchScratch struct {
+	visited []int32
+	epoch   int32
+	cand    minHeap
+	res     maxHeap
+	out     []heapItem
+}
+
+func newSearchScratch(n int) *searchScratch {
+	return &searchScratch{visited: make([]int32, n)}
+}
+
+func (sc *searchScratch) begin() {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: hard-clear the stamps
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.cand.reset()
+	sc.res.reset()
+}
+
+func (sc *searchScratch) seen(v int64) bool {
+	if sc.visited[v] == sc.epoch {
+		return true
+	}
+	sc.visited[v] = sc.epoch
+	return false
+}
+
+// greedy walks level l from ep to a local minimum of the distance to q:
+// repeatedly move to the closest neighbor while it improves on the current
+// position (ties never improve, so the walk terminates).
+func (ix *Index) greedy(rank int, st *searchStats, q []float32, ep int64, epD float32, level int) (int64, float32) {
+	for {
+		improved := false
+		for _, nb := range ix.links[level][ep] {
+			st.edgeBytes += 4
+			d := ix.dist(rank, st, q, int64(nb))
+			if itemLess(heapItem{d, int64(nb)}, heapItem{epD, ep}) {
+				ep, epD = int64(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epD
+		}
+	}
+}
+
+// searchLayer is the ef-bounded beam search of one level: expand the
+// closest unexpanded candidate until none can improve the current ef-best
+// set. Returns the best items sorted ascending (at least one: ep itself).
+// The returned slice aliases sc.out and is valid until the next search on
+// this scratch.
+func (ix *Index) searchLayer(rank int, sc *searchScratch, st *searchStats, q []float32, ep int64, epD float32, level, ef int) []heapItem {
+	sc.begin()
+	sc.seen(ep)
+	start := heapItem{epD, ep}
+	sc.cand.push(start)
+	sc.res.push(start)
+	for sc.cand.len() > 0 {
+		c := sc.cand.pop()
+		if sc.res.len() >= ef && itemLess(sc.res.top(), c) {
+			break
+		}
+		for _, nb := range ix.links[level][c.id] {
+			st.edgeBytes += 4
+			if sc.seen(int64(nb)) {
+				continue
+			}
+			d := ix.dist(rank, st, q, int64(nb))
+			it := heapItem{d, int64(nb)}
+			if sc.res.len() < ef {
+				sc.cand.push(it)
+				sc.res.push(it)
+			} else if itemLess(it, sc.res.top()) {
+				sc.cand.push(it)
+				sc.res.pop()
+				sc.res.push(it)
+			}
+		}
+	}
+	sc.out = append(sc.out[:0], sc.res.a...)
+	sortItems(sc.out)
+	return sc.out
+}
+
+// mustRank resolves dev to its communicator rank; searches can only run
+// on devices that opened the shared vector table.
+func (ix *Index) mustRank(dev *sim.Device) int {
+	r := ix.comm.RankOfDevice(dev)
+	if r < 0 {
+		panic(fmt.Sprintf("ann: device %d is not part of the index communicator", dev.ID))
+	}
+	return r
+}
+
+// searchOne runs the full multi-level descent for one query against the
+// built index and appends the k best to dst.
+func (ix *Index) searchOne(rank int, sc *searchScratch, st *searchStats, q []float32, k, ef int, dst []Result) []Result {
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	epD := ix.dist(rank, st, q, ep)
+	for l := int(ix.maxLevel); l >= 1; l-- {
+		ep, epD = ix.greedy(rank, st, q, ep, epD, l)
+	}
+	items := ix.searchLayer(rank, sc, st, q, ep, epD, 0, ef)
+	if k > len(items) {
+		k = len(items)
+	}
+	for _, it := range items[:k] {
+		dst = append(dst, Result{ID: it.id, Dist: it.d})
+	}
+	return dst
+}
+
+// Search answers one top-k query on dev as a single kernel: greedy descent
+// through the upper levels, then an ef-wide beam at level 0 (ef <= 0 takes
+// Options.EfSearch; ef is raised to k if below). The query q must be a
+// dim-length vector; pass a row of the indexed matrix (Vector) to search
+// by node.
+func (ix *Index) Search(dev *sim.Device, q []float32, k, ef int) []Result {
+	if ef <= 0 {
+		ef = ix.Opts.EfSearch
+	}
+	rank := ix.mustRank(dev)
+	var st searchStats
+	out := ix.searchOne(rank, ix.scratch[rank], &st, q, k, ef, make([]Result, 0, k))
+	ix.flush(dev, &st, "ann.search")
+	return out
+}
+
+// SearchMany answers len(queries)/dim top-k queries from one flat buffer
+// (row-major, as filled by GatherQueries) in a single batched kernel: the
+// launch overhead is paid once and the summed traffic bounds the kernel,
+// which is how a real batched search kernel behaves.
+func (ix *Index) SearchMany(dev *sim.Device, queries []float32, k, ef int) [][]Result {
+	if ef <= 0 {
+		ef = ix.Opts.EfSearch
+	}
+	if len(queries)%ix.dim != 0 {
+		panic(fmt.Sprintf("ann: SearchMany buffer length %d is not a multiple of dim %d", len(queries), ix.dim))
+	}
+	rank := ix.mustRank(dev)
+	sc := ix.scratch[rank]
+	nq := len(queries) / ix.dim
+	out := make([][]Result, nq)
+	var st searchStats
+	for i := 0; i < nq; i++ {
+		q := queries[i*ix.dim : (i+1)*ix.dim]
+		out[i] = ix.searchOne(rank, sc, &st, q, k, ef, make([]Result, 0, k))
+	}
+	ix.flush(dev, &st, "ann.search")
+	return out
+}

@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// TestAblationANNShape pins the abl-ann acceptance shape at quick scale:
+// a wide-enough beam reaches high recall while staying well under the
+// brute-force scan in virtual time, and the serving row reports recall
+// next to tail latency. (The full-scale >=10x / recall>=0.95 point is
+// checked by the bench harness run; quick scale has a smaller table, so
+// the scan is cheaper and the thresholds here are correspondingly looser.)
+func TestAblationANNShape(t *testing.T) {
+	res, err := AblationANN(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ScaleClamped || res.ScaleUsed != 4e-3 {
+		t.Fatalf("expected the 4e-3 quick scale floor, got used=%g clamped=%v", res.ScaleUsed, res.ScaleClamped)
+	}
+	if res.EmbedVirtual <= 0 || res.BuildVirtual <= 0 || res.BruteVirtual <= 0 {
+		t.Fatalf("unmeasured phases: embed %g build %g brute %g",
+			res.EmbedVirtual, res.BuildVirtual, res.BruteVirtual)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no sweep rows")
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Recall < 0.9 {
+		t.Fatalf("recall@%d at ef=%d = %.3f, want >= 0.9", res.TopK, last.EfSearch, last.Recall)
+	}
+	if last.Speedup < 1.5 {
+		t.Fatalf("speedup at ef=%d = %.2fx, want >= 1.5x even at quick scale", last.EfSearch, last.Speedup)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Recall+1e-9 < res.Rows[i-1].Recall {
+			t.Errorf("recall fell as the beam widened: ef=%d %.3f -> ef=%d %.3f",
+				res.Rows[i-1].EfSearch, res.Rows[i-1].Recall,
+				res.Rows[i].EfSearch, res.Rows[i].Recall)
+		}
+	}
+	s := res.Serving
+	if s.Served == 0 {
+		t.Fatal("serving row served nothing")
+	}
+	if s.Recall <= 0.5 || s.Recall > 1 {
+		t.Fatalf("serving recall@%d = %.3f", res.TopK, s.Recall)
+	}
+	if s.P99 <= 0 {
+		t.Fatal("serving row has no p99")
+	}
+	if s.EfSearch == 0 {
+		t.Fatal("serving row does not echo the chosen efSearch")
+	}
+}

@@ -73,6 +73,7 @@ type rankScratch struct {
 	blk       spops.SubCSR
 	rows      []int64
 	outRows   []int64
+	collect   []float32
 	// chunks is the per-chunk working set of the pipelined path; each
 	// chunk's block, dedup table and gathered input must stay alive until
 	// its forward, so they cannot share one buffer.
@@ -151,6 +152,16 @@ func FullGraph(store *core.Store, model gnn.LayerwiseModel) (*tensor.Dense, erro
 	return e.Run()
 }
 
+// Embeddings computes the full-graph embedding matrix: the model's
+// final-layer output for every node, in original node-ID order — the
+// extraction the ANN retrieval index (internal/ann) is built over. It is
+// FullGraph under the name retrieval consumers mean by it; the collection
+// out of the shared table is charged per rank and bit-identical serial or
+// under sim.RunParallel.
+func Embeddings(store *core.Store, model gnn.LayerwiseModel) (*tensor.Dense, error) {
+	return FullGraph(store, model)
+}
+
 // Run performs one layer-wise propagation: each rank computes the rows of
 // its own hash partition, reading input embeddings (its nodes' full
 // neighborhoods) from the previous layer's shared table; ranks synchronize
@@ -218,13 +229,28 @@ func (e *Engine) Run() (*tensor.Dense, error) {
 		curDim = outDim
 	}
 
-	// Collect into original node-ID order on the host.
+	// Collect into original node-ID order on the host: each rank reads its
+	// own contiguous shard of the final table (a charged streaming read)
+	// and de-permutes it into its nodes' original-ID rows. The row sets
+	// are disjoint across ranks, so the parallel extraction is bit-equal
+	// to the serial one.
 	res := tensor.New(int(pg.N), curDim)
-	buf := make([]float32, curDim)
-	for v := int64(0); v < pg.N; v++ {
-		cur.ReadRow(pg.FeatRow(pg.Owner[v]), buf)
-		copy(res.Row(int(v)), buf)
-	}
+	final := e.tables[e.Model.NumLayers()-1]
+	sim.RunParallel(len(devs), func(r int) {
+		dev := devs[r]
+		sc := e.scratch[r]
+		localN := pg.LocalCount(r)
+		need := int(localN) * curDim
+		if cap(sc.collect) < need {
+			sc.collect = make([]float32, need)
+		}
+		buf := sc.collect[:need]
+		final.ReadRange(dev, final.ShardStart(r), int64(need), buf, "infer.collect")
+		for li := int64(0); li < localN; li++ {
+			copy(res.Row(int(pg.Orig[r][li])), buf[li*int64(curDim):(li+1)*int64(curDim)])
+		}
+	})
+	sim.Barrier(devs)
 	return res, nil
 }
 

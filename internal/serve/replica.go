@@ -54,8 +54,12 @@ type Request struct {
 	// BatchSize how many requests it coalesced (including this one).
 	Batch     int `json:"batch,omitempty"`
 	BatchSize int `json:"batch_size,omitempty"`
-	// Class is the predicted class of a served request.
+	// Class is the predicted class of a served request (inference
+	// workload only).
 	Class int32 `json:"class,omitempty"`
+	// Recall is the request's recall@K against the exact oracle
+	// (retrieval workload only).
+	Recall float64 `json:"recall,omitempty"`
 }
 
 // Latency returns the request's response latency (served requests only).
@@ -81,6 +85,31 @@ type replica struct {
 	batchReqs []*Request
 	ids       []int64
 	reqSlot   []int
+	qbuf      []float32 // retrieval: staged query vectors
+}
+
+// dedupe coalesces a batch's duplicate seed nodes: ids is the unique node
+// list in first-come order, reqSlot maps each request to its node's slot.
+// Both alias replica scratch, valid until the next batch.
+func (r *replica) dedupe(batch []*Request) ([]int64, []int) {
+	ids := r.ids[:0]
+	reqSlot := r.reqSlot[:0]
+	for _, q := range batch {
+		at := -1
+		for i, v := range ids {
+			if v == q.Node {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			at = len(ids)
+			ids = append(ids, q.Node)
+		}
+		reqSlot = append(reqSlot, at)
+	}
+	r.ids, r.reqSlot = ids, reqSlot
+	return ids, reqSlot
 }
 
 // serve runs the replica's whole request stream to completion. reqs are
@@ -159,27 +188,14 @@ func (r *replica) serve(reqs []*Request) {
 // unique node, and every request for that node shares the result (and the
 // completion time).
 func (r *replica) runBatch(batch []*Request, tStart float64) float64 {
+	if r.srv.index != nil {
+		return r.runRetrievalBatch(batch, tStart)
+	}
 	dev := r.dev
 
 	// Unique seed nodes, first-come order; reqSlot maps each request to
 	// its node's row in the batch output.
-	ids := r.ids[:0]
-	reqSlot := r.reqSlot[:0]
-	for _, q := range batch {
-		at := -1
-		for i, v := range ids {
-			if v == q.Node {
-				at = i
-				break
-			}
-		}
-		if at < 0 {
-			at = len(ids)
-			ids = append(ids, q.Node)
-		}
-		reqSlot = append(reqSlot, at)
-	}
-	r.ids, r.reqSlot = ids, reqSlot
+	ids, reqSlot := r.dedupe(batch)
 
 	// Build (sample, dedup, gather) on the copy stream. The stream idles
 	// to the launch point first: the host cannot enqueue the build before

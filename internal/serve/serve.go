@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"wholegraph/internal/ann"
 	"wholegraph/internal/autograd"
 	"wholegraph/internal/cache"
 	"wholegraph/internal/core"
@@ -61,6 +62,17 @@ const (
 	PolicyOwner Policy = "owner"
 	// PolicyRoundRobin ignores locality and spreads requests evenly.
 	PolicyRoundRobin Policy = "rr"
+)
+
+// Workloads a Server can run.
+const (
+	// WorkloadInference answers each request with the model's predicted
+	// class for the seed node (sample, gather, forward).
+	WorkloadInference = "inference"
+	// WorkloadRetrieval answers each request with the seed node's top-K
+	// nearest neighbors in embedding space, through an ann.Index
+	// (NewRetrieval). Requests report recall@K against the exact oracle.
+	WorkloadRetrieval = "retrieval"
 )
 
 // Options configures a serving run. Zero values take defaults via
@@ -111,6 +123,15 @@ type Options struct {
 	FeatCacheMB int
 	// CachePolicy selects the BlockCache policy ("lru" or "admit").
 	CachePolicy string
+	// Workload selects what a request asks for: WorkloadInference
+	// (default) or WorkloadRetrieval. New always serves inference;
+	// retrieval deployments come from NewRetrieval.
+	Workload string
+	// TopK is the neighbor count of a retrieval request (default 10).
+	TopK int
+	// EfSearch is the HNSW beam width retrieval batches search with
+	// (0 = the index's Options.EfSearch default).
+	EfSearch int
 }
 
 // Normalize fills defaults.
@@ -142,6 +163,12 @@ func (o Options) Normalize() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workload == "" {
+		o.Workload = WorkloadInference
+	}
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
 	return o
 }
 
@@ -168,6 +195,17 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("serve: unknown routing policy %q", o.Policy)
 	}
+	switch o.Workload {
+	case WorkloadInference, WorkloadRetrieval:
+	default:
+		return fmt.Errorf("serve: unknown workload %q", o.Workload)
+	}
+	if o.TopK < 1 {
+		return fmt.Errorf("serve: TopK must be >= 1, got %d", o.TopK)
+	}
+	if o.EfSearch < 0 {
+		return fmt.Errorf("serve: EfSearch must be >= 0, got %d", o.EfSearch)
+	}
 	return nil
 }
 
@@ -187,6 +225,13 @@ type Server struct {
 	byDegree []int64
 	rankOf   map[int64]int64
 	rr       int // round-robin cursor shared by the routing policies
+
+	// Retrieval-workload state (nil for inference): the ANN index the
+	// replicas search, and the exact top-K oracle precomputed before the
+	// parallel serving region so replicas can fill per-request recall
+	// from a read-only map.
+	index  *ann.Index
+	oracle map[int64][]ann.Result
 }
 
 // New builds a serving deployment: the dataset is partitioned over the
@@ -198,6 +243,9 @@ func New(m *sim.Machine, node int, ds *dataset.Dataset, model gnn.LayerwiseModel
 	opts = opts.Normalize()
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Workload == WorkloadRetrieval {
+		return nil, fmt.Errorf("serve: retrieval deployments are built with NewRetrieval over an ann.Index")
 	}
 	var store *core.Store
 	var err error
@@ -270,8 +318,12 @@ func New(m *sim.Machine, node int, ds *dataset.Dataset, model gnn.LayerwiseModel
 func (s *Server) Replicas() int { return len(s.replicas) }
 
 // FeatStoreStats snapshots the paged feature store's BlockCache counters;
-// the zero Stats when Options.PagedFeatures is off.
+// the zero Stats when Options.PagedFeatures is off or the deployment has
+// no store (retrieval).
 func (s *Server) FeatStoreStats() featstore.Stats {
+	if s.Store == nil {
+		return featstore.Stats{}
+	}
 	if fs := s.Store.FeatStore(); fs != nil {
 		return fs.Stats()
 	}
@@ -293,10 +345,15 @@ func (s *Server) Caches() []*cache.FeatureCache {
 // at the start, like infer.Engine.Run. Each call continues the machine's
 // virtual clocks from wherever they are; benchmarks Reset between runs.
 func (s *Server) Run() (*Result, error) {
-	for _, rep := range s.replicas[1:] {
-		rep.model.Params().CopyFrom(s.Model.Params())
+	if s.Model != nil {
+		for _, rep := range s.replicas[1:] {
+			rep.model.Params().CopyFrom(s.Model.Params())
+		}
 	}
 	trace := s.generate()
+	if s.index != nil {
+		s.buildOracle(trace)
+	}
 	perReplica := s.route(trace)
 
 	sim.RunParallel(len(s.replicas), func(r int) {
@@ -307,24 +364,43 @@ func (s *Server) Run() (*Result, error) {
 	return res, nil
 }
 
+// numNodes returns the request-node domain: graph nodes for inference,
+// indexed embedding rows for retrieval.
+func (s *Server) numNodes() int64 {
+	if s.index != nil {
+		return int64(s.index.N())
+	}
+	return s.Store.PG.N
+}
+
 // generate draws the open-loop arrival process: exponential inter-arrival
-// gaps at Opts.Rate, seed nodes uniform or Zipf-skewed by degree rank.
+// gaps at Opts.Rate, seed nodes uniform or Zipf-skewed by popularity.
+// Inference popularity follows the degree ranking (hot = high degree);
+// retrieval has no degree notion, so popularity rank is the node ID
+// itself (low IDs hottest) — a fixed, documented skew shape.
 func (s *Server) generate() []*Request {
 	o := s.Opts
 	rng := rand.New(rand.NewSource(o.Seed*7919 + 13))
 	var zipf *rand.Zipf
 	if o.Skew > 1 {
-		zipf = rand.NewZipf(rng, o.Skew, 1, uint64(s.Store.PG.N-1))
+		zipf = rand.NewZipf(rng, o.Skew, 1, uint64(s.numNodes()-1))
 	}
 	reqs := make([]*Request, o.Requests)
 	t := 0.0
 	for i := range reqs {
 		t += rng.ExpFloat64() / o.Rate
 		var node int64
-		if zipf != nil {
+		switch {
+		case zipf != nil && s.index != nil:
+			// Popularity rank scattered over the table by a fixed odd
+			// multiplier: the index shards rows contiguously, so rank==ID
+			// would pile every hot query onto replica 0's shard. Hot
+			// embeddings hash across shards the way hot training nodes do.
+			node = int64((zipf.Uint64() * 2654435761) % uint64(s.numNodes()))
+		case zipf != nil:
 			node = s.byDegree[int64(zipf.Uint64())]
-		} else {
-			node = rng.Int63n(s.Store.PG.N)
+		default:
+			node = rng.Int63n(s.numNodes())
 		}
 		reqs[i] = &Request{ID: i, Node: node, Arrival: t}
 	}
@@ -347,7 +423,12 @@ func (s *Server) route(reqs []*Request) [][]*Request {
 // serving starts and the replicas can run concurrently.
 func (s *Server) routeOne(q *Request) int {
 	n := len(s.replicas)
-	owner := s.Store.PG.Owner[q.Node].Rank()
+	var owner int
+	if s.index != nil {
+		owner = s.index.RankOfRow(q.Node)
+	} else {
+		owner = s.Store.PG.Owner[q.Node].Rank()
+	}
 	switch s.Opts.Policy {
 	case PolicyRoundRobin:
 		r := s.rr % n
@@ -359,8 +440,10 @@ func (s *Server) routeOne(q *Request) int {
 		// A row within the cache capacity of the degree ranking is local
 		// on its owner and cached everywhere else, so any replica serves
 		// it from local memory — spread those round-robin. Cold rows go
-		// to their owner, whose shard holds them.
-		if s.Opts.CacheRows > 0 && s.degreeRank(q.Node) < int64(s.Opts.CacheRows) {
+		// to their owner, whose shard holds them. Retrieval replicas have
+		// no hot-row cache, so the policy degrades to owner routing
+		// (the query row gather is then always local).
+		if s.index == nil && s.Opts.CacheRows > 0 && s.degreeRank(q.Node) < int64(s.Opts.CacheRows) {
 			r := s.rr % n
 			s.rr++
 			return r

@@ -32,11 +32,15 @@
 #     paged+prefetch+admission at a fixed 1/4 byte budget — virtual epoch
 #     times, hit rates, prefetch-hit and admission-reject counters, loss
 #     bit-identity.
+#   BENCH_ann.json — the ANN retrieval experiment (wgbench -exp abl-ann):
+#     the recall@10 vs per-query virtual latency curve over efSearch,
+#     index build virtual time, the HNSW-vs-brute-force speedup, and the
+#     end-to-end retrieval serving row (recall next to p50/p99/SLO).
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json [oocgraph.json]]]]]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json [oocgraph.json [ann.json]]]]]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,6 +51,7 @@ COMMS_OUT="${4:-BENCH_comms.json}"
 GRAPH_OUT="${5:-BENCH_graph.json}"
 FEAT_OUT="${6:-BENCH_featstore.json}"
 OOC_OUT="${7:-BENCH_oocgraph.json}"
+ANN_OUT="${8:-BENCH_ann.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -127,3 +132,6 @@ echo "wrote $FEAT_OUT"
 
 go run ./cmd/wgbench -exp abl-oocgraph -json "$OOC_OUT"
 echo "wrote $OOC_OUT"
+
+go run ./cmd/wgbench -exp abl-ann -json "$ANN_OUT"
+echo "wrote $ANN_OUT"
