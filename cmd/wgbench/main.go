@@ -60,6 +60,7 @@ var experiments = []struct {
 	{"abl-pipeline", "ablation: cross-iteration batch prefetch vs sequential", wrap(bench.AblationPipeline)},
 	{"abl-overlap-grads", "ablation: bucketed gradient AllReduce overlapped with backward", wrap(bench.AblationOverlapGrads)},
 	{"abl-graph", "ablation: step capture/replay vs eager per-kernel dispatch", wrap(bench.AblationGraph)},
+	{"abl-sched", "ablation: whole-step DAG scheduling vs plain capture/replay", wrap(bench.AblationSched)},
 	{"abl-featstore", "ablation: flat slab vs paged+encoded out-of-core feature store", wrap(bench.AblationFeatstore)},
 	{"abl-oocgraph", "ablation: in-RAM CSR vs paged topology with prefetch and admission", wrap(bench.AblationOOCGraph)},
 	{"featstore-full", "out-of-core papers100M: paged features and topology at full scale", wrap(bench.FeatstoreFull)},
@@ -79,32 +80,34 @@ func wrap[T any](f func(bench.Config) (T, error)) func(bench.Config) (any, error
 // experiment with its typed result rows (virtual seconds live inside them)
 // and the host wall-clock the experiment took.
 type jsonReport struct {
-	Scale       float64          `json:"scale"`
-	Quick       bool             `json:"quick"`
-	Epochs      int              `json:"epochs"`
-	Seed        int64            `json:"seed"`
-	Parallel    bool             `json:"parallel"`
-	Pipeline    bool             `json:"pipeline"`
-	CacheRows   int              `json:"cache_rows"`
-	OverlapG    bool             `json:"overlap_grads"`
-	CaptureG    bool             `json:"capture_graph"`
-	PagedFeat   bool             `json:"paged_features"`
-	FeatEnc     string           `json:"feat_encoding,omitempty"`
-	PagedTopo   bool             `json:"paged_topo"`
-	PrefetchPgs int              `json:"prefetch_pages,omitempty"`
-	CachePolicy string           `json:"cache_policy,omitempty"`
-	CacheHits   int64            `json:"cache_hits"`
-	CacheMisses int64            `json:"cache_misses"`
-	CacheHit    float64          `json:"cache_hit_rate"`
-	FeatStore   *jsonStore       `json:"featstore,omitempty"`
-	TopoStore   *jsonStore       `json:"topostore,omitempty"`
-	NVLinkTxGB  float64          `json:"nvlink_tx_gb"`
-	IBTxGB      float64          `json:"ib_tx_gb"`
-	CommSeconds float64          `json:"comm_seconds"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	StartedAt   time.Time        `json:"started_at"`
-	WallSeconds float64          `json:"wall_seconds"`
-	Experiments []jsonExperiment `json:"experiments"`
+	Scale       float64                   `json:"scale"`
+	Quick       bool                      `json:"quick"`
+	Epochs      int                       `json:"epochs"`
+	Seed        int64                     `json:"seed"`
+	Parallel    bool                      `json:"parallel"`
+	Pipeline    bool                      `json:"pipeline"`
+	CacheRows   int                       `json:"cache_rows"`
+	OverlapG    bool                      `json:"overlap_grads"`
+	CaptureG    bool                      `json:"capture_graph"`
+	Schedule    bool                      `json:"schedule"`
+	PagedFeat   bool                      `json:"paged_features"`
+	FeatEnc     string                    `json:"feat_encoding,omitempty"`
+	PagedTopo   bool                      `json:"paged_topo"`
+	PrefetchPgs int                       `json:"prefetch_pages,omitempty"`
+	CachePolicy string                    `json:"cache_policy,omitempty"`
+	CacheHits   int64                     `json:"cache_hits"`
+	CacheMisses int64                     `json:"cache_misses"`
+	CacheHit    float64                   `json:"cache_hit_rate"`
+	FeatStore   *jsonStore                `json:"featstore,omitempty"`
+	TopoStore   *jsonStore                `json:"topostore,omitempty"`
+	Graph       *bench.GraphCounterTotals `json:"graph_counters,omitempty"`
+	NVLinkTxGB  float64                   `json:"nvlink_tx_gb"`
+	IBTxGB      float64                   `json:"ib_tx_gb"`
+	CommSeconds float64                   `json:"comm_seconds"`
+	GOMAXPROCS  int                       `json:"gomaxprocs"`
+	StartedAt   time.Time                 `json:"started_at"`
+	WallSeconds float64                   `json:"wall_seconds"`
+	Experiments []jsonExperiment          `json:"experiments"`
 }
 
 // jsonStore is the aggregate BlockCache accounting for one paged-store kind
@@ -133,6 +136,7 @@ func main() {
 		cacheRows  = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (0 = no cache)")
 		overlapG   = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (identical math, different virtual epochs)")
 		captureG   = flag.Bool("capture-graph", false, "capture the training step once per loader slot and replay it graph-launch style (identical math, shorter virtual epochs)")
+		schedule   = flag.Bool("schedule", false, "replay captured steps through the whole-step DAG scheduler (implies -capture-graph; identical math, shorter virtual epochs)")
 		pagedF     = flag.Bool("paged-features", false, "serve features from the out-of-core paged store (bit-identical math with raw encoding)")
 		featEnc    = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
 		featPgRows = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
@@ -159,7 +163,7 @@ func main() {
 	cfg := bench.Config{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
-		OverlapGrads: *overlapG, CaptureGraph: *captureG,
+		OverlapGrads: *overlapG, CaptureGraph: *captureG, Schedule: *schedule,
 		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
 		FeatPageRows: *featPgRows, FeatCacheMB: *featCache,
 		PagedTopo: *pagedT, TopoPageEdges: *topoPgEdge, TopoCacheMB: *topoCache,
@@ -173,7 +177,7 @@ func main() {
 	report := jsonReport{
 		Scale: *scale, Quick: *quick, Epochs: *epochs, Seed: *seed,
 		Parallel: *parallel, Pipeline: *pipeline, CacheRows: *cacheRows,
-		OverlapG: *overlapG, CaptureG: *captureG,
+		OverlapG: *overlapG, CaptureG: *captureG, Schedule: *schedule,
 		PagedFeat: *pagedF, FeatEnc: *featEnc,
 		PagedTopo: *pagedT, PrefetchPgs: *prefetchPg, CachePolicy: *cachePol,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), StartedAt: time.Now(),
@@ -246,6 +250,11 @@ func main() {
 		fmt.Printf("topology store: %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident\n",
 			c.Hits, c.Misses, 100*c.HitRate(), c.Evictions,
 			c.PrefetchHits, c.AdmissionRejects, float64(c.ResidentBytes)/(1<<20))
+	}
+	if g := bench.GraphCountersTotal(); g.Captures+g.Replays+g.Fallbacks > 0 {
+		report.Graph = &g
+		fmt.Printf("step graphs: %d captures / %d replays (%d scheduled), %d invalidations, %d fallbacks\n",
+			g.Captures, g.Replays, g.Scheduled, g.Invalidations, g.Fallbacks)
 	}
 	if nvlink, ib, comm := bench.CommCounters(); comm > 0 {
 		report.NVLinkTxGB = nvlink / 1e9

@@ -40,6 +40,7 @@ func main() {
 		cacheRows = flag.Int("cache-rows", 0, "per-worker hot-node feature cache size in rows (WholeGraph only; 0 = no cache)")
 		overlapG  = flag.Bool("overlap-grads", false, "overlap bucketed gradient AllReduce with backward on the copy stream (WholeGraph only; identical math)")
 		captureG  = flag.Bool("capture-graph", false, "capture the training step per loader slot and replay it graph-launch style (WholeGraph only; identical math)")
+		schedule  = flag.Bool("schedule", false, "replay captured steps through the whole-step DAG scheduler (implies -capture-graph; WholeGraph only; identical math)")
 		pagedF    = flag.Bool("paged-features", false, "serve features from the out-of-core paged store (WholeGraph only; bit-identical with raw encoding)")
 		featEnc   = flag.String("feat-encoding", "", "paged-store page encoding: raw, f16, q8 (lossy below raw)")
 		featRows  = flag.Int("feat-page-rows", 0, "paged-store rows per page (0 = default)")
@@ -101,6 +102,7 @@ func main() {
 		Heads: *heads, LR: *lr, Dropout: float32(*dropout), Seed: *seed,
 		Pipeline: *pipeline, CacheRows: *cacheRows, OverlapGrads: *overlapG,
 		CaptureGraph:  *captureG,
+		Schedule:      *schedule,
 		PagedFeatures: *pagedF, FeatEncoding: *featEnc,
 		FeatPageRows: *featRows, FeatCacheMB: *featCache,
 		PagedTopo: *pagedT, TopoPageEdges: *topoEdges, TopoCacheMB: *topoCache,
@@ -154,6 +156,10 @@ func main() {
 			fst.Encoding, fst.PageRows, fst.Policy, fst.Hits, fst.Misses, 100*fst.HitRate(),
 			fst.Evictions, fst.PrefetchHits, fst.AdmissionRejects,
 			float64(fst.ResidentBytes)/(1<<20), float64(fst.CacheBytes)/(1<<20))
+	}
+	if gc := trainer.GraphStats(); gc.Captures+gc.Replays+gc.Fallbacks > 0 {
+		fmt.Printf("step graphs: %d captures / %d replays (%d scheduled), %d invalidations, %d fallbacks\n",
+			gc.Captures, gc.Replays, gc.Scheduled, gc.Invalidations, gc.Fallbacks)
 	}
 	if tst := trainer.TopoStoreStats(); tst.Hits+tst.Misses > 0 {
 		fmt.Printf("topology store (%d edges/page, %s): %d page hits / %d misses (%.1f%% hit rate), %d evictions, %d prefetch hits, %d admission rejects, %.1f MiB resident of %.1f MiB budget\n",

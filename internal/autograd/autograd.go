@@ -30,7 +30,17 @@ type Var struct {
 	// back propagates v.Grad into the inputs' Grad fields.
 	back func(v *Var)
 	// post hooks run right after back during replay (see OnBackward).
-	post []func()
+	post []postHook
+}
+
+// postHook is one registered backward hook. A nil target rides the
+// variable's backward step; a non-nil target declares the hook's work as
+// the production of target's gradient, which lets the whole-step scheduler
+// give it its own DAG node (e.g. splitting a Linear layer's dX and dW GEMM
+// charges into independently schedulable nodes).
+type postHook struct {
+	fn     func()
+	target *Var
 }
 
 // OnBackward registers fn to run immediately after this variable's backward
@@ -38,7 +48,19 @@ type Var struct {
 // the variable (mirroring how its backward work only happens then); layers
 // use this to charge backward kernel costs on the device at replay time
 // rather than at forward-record time. Hooks are discarded by Tape.Reset.
-func (v *Var) OnBackward(fn func()) { v.post = append(v.post, fn) }
+func (v *Var) OnBackward(fn func()) { v.post = append(v.post, postHook{fn: fn}) }
+
+// OnBackwardFor is OnBackward with a declared output: fn's work produces
+// target's gradient (reading v's). The scheduler uses the declaration to
+// recover a dependency edge and schedule the hook independently of its
+// siblings; execution order and semantics are identical to OnBackward.
+func (v *Var) OnBackwardFor(target *Var, fn func()) {
+	v.post = append(v.post, postHook{fn: fn, target: target})
+}
+
+// Inputs returns the variables this one was computed from (nil for leaves).
+// The returned slice is owned by the tape — callers must not mutate it.
+func (v *Var) Inputs() []*Var { return v.inputs }
 
 // NeedsGrad reports whether gradients flow to this variable.
 func (v *Var) NeedsGrad() bool { return v.needGrad }
@@ -86,12 +108,43 @@ type Tape struct {
 	// records every gradient tensor it allocates into bwdSeq so replays can
 	// rebind the same buffers instead of allocating.
 	capturing bool
-	program   []func()
+	program   []progStep
 	capBwd    bool
 	replayBwd bool
 	bwdSeq    []*tensor.Dense
 	bwdCursor int
+	// obs, when non-nil, is notified of each replayed step's dependency
+	// metadata (see ReplayObserver); set by the whole-step scheduler for
+	// the duration of a scheduled replay.
+	obs ReplayObserver
 }
+
+// progStep is one recorded replay step. Steps recorded through CaptureRW
+// carry the tensors they read and write (open = true: they open a new
+// scheduler DAG node); plain Capture steps are riders whose charges attach
+// to whatever node is current (device cost annotations, view rebinds).
+type progStep struct {
+	fn            func()
+	label         string
+	reads, writes []*tensor.Dense
+	open          bool
+}
+
+// ReplayObserver is notified, during ReplayForward/ReplayBackward, of each
+// step that should become a node in a whole-step dependency DAG, just
+// before the step's math (and therefore its device charges) runs:
+// ForwardNode for each CaptureRW step with the tensors it reads/writes,
+// BackwardNode for each tape node's backward closure, HookNode for each
+// targeted backward hook (OnBackwardFor). Implemented by internal/sched.
+type ReplayObserver interface {
+	ForwardNode(label string, reads, writes []*tensor.Dense)
+	BackwardNode(v *Var)
+	HookNode(v, target *Var)
+}
+
+// SetReplayObserver installs (or, with nil, removes) the observer for
+// subsequent replays on this tape.
+func (t *Tape) SetReplayObserver(o ReplayObserver) { t.obs = o }
 
 // NewTape returns an empty tape. A fresh tape is typically created per
 // training iteration; steady-state loops instead keep one arena-backed tape
@@ -290,6 +343,7 @@ func (t *Tape) BeginCapture() {
 		panic("autograd: capture requires a plain (non-arena) tape")
 	}
 	t.capturing = true
+	clear(t.program)
 	t.program = t.program[:0]
 	t.bwdSeq = t.bwdSeq[:0]
 }
@@ -300,10 +354,22 @@ func (t *Tape) Capturing() bool { return t != nil && t.capturing }
 
 // Capture appends fn to the replay program when capturing; otherwise it is
 // a no-op. Layers use it to record device cost charges and out-of-band
-// forward steps (e.g. self-loop block rebuilds) in op order.
+// forward steps (e.g. self-loop block rebuilds) in op order. Steps recorded
+// this way are riders in the scheduler's DAG: their charges attach to the
+// node of the preceding CaptureRW step.
 func (t *Tape) Capture(fn func()) {
 	if t != nil && t.capturing {
-		t.program = append(t.program, fn)
+		t.program = append(t.program, progStep{fn: fn})
+	}
+}
+
+// CaptureRW is Capture with dependency metadata: the step reads the given
+// tensors and (re)writes the given tensors. Op constructors use it so the
+// whole-step scheduler can recover producer/consumer edges between replayed
+// steps; reads/writes are retained for the program's lifetime.
+func (t *Tape) CaptureRW(label string, fn func(), reads, writes []*tensor.Dense) {
+	if t != nil && t.capturing {
+		t.program = append(t.program, progStep{fn: fn, label: label, reads: reads, writes: writes, open: true})
 	}
 }
 
@@ -324,8 +390,12 @@ func (t *Tape) ReplayForward() {
 	for _, v := range t.vars {
 		v.Grad = nil
 	}
-	for _, fn := range t.program {
-		fn()
+	for i := range t.program {
+		s := &t.program[i]
+		if t.obs != nil && s.open {
+			t.obs.ForwardNode(s.label, s.reads, s.writes)
+		}
+		s.fn()
 	}
 }
 
@@ -379,9 +449,15 @@ func (t *Tape) replay(loss *Var, seed *tensor.Dense, watch []*Var, onReady func(
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		v := t.nodes[i]
 		if v.Grad != nil && v.back != nil {
+			if t.obs != nil {
+				t.obs.BackwardNode(v)
+			}
 			v.back(v)
-			for _, fn := range v.post {
-				fn()
+			for _, h := range v.post {
+				if t.obs != nil && h.target != nil {
+					t.obs.HookNode(v, h.target)
+				}
+				h.fn()
 			}
 		}
 		for wi, mi := range watchMin {
@@ -405,10 +481,10 @@ func MatMul(x, w *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, w.Value.C)
 	tensor.MatMulInto(out, x.Value, w.Value)
 	if x.tape.capturing {
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("matmul", func() {
 			out.Resize(x.Value.R, w.Value.C)
 			tensor.MatMulInto(out, x.Value, w.Value)
-		})
+		}, []*tensor.Dense{x.Value, w.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x, w}, func(v *Var) {
 		if x.needGrad {
@@ -429,10 +505,10 @@ func Add(a, b *Var) *Var {
 	out := a.tape.NewTensor(a.Value.R, a.Value.C)
 	tensor.AddInto(out, a.Value, b.Value)
 	if a.tape.capturing {
-		a.tape.Capture(func() {
+		a.tape.CaptureRW("add", func() {
 			out.Resize(a.Value.R, a.Value.C)
 			tensor.AddInto(out, a.Value, b.Value)
-		})
+		}, []*tensor.Dense{a.Value, b.Value}, []*tensor.Dense{out})
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		a.AccumGrad(v.Grad)
@@ -445,10 +521,10 @@ func AddBias(x, b *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.AddRowInto(out, x.Value, b.Value)
 	if x.tape.capturing {
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("addbias", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			tensor.AddRowInto(out, x.Value, b.Value)
-		})
+		}, []*tensor.Dense{x.Value, b.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x, b}, func(v *Var) {
 		x.AccumGrad(v.Grad)
@@ -465,10 +541,10 @@ func ReLU(x *Var) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ReLUInto(out, x.Value)
 	if x.tape.capturing {
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("relu", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			tensor.ReLUInto(out, x.Value)
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -482,10 +558,10 @@ func Scale(x *Var, s float32) *Var {
 	out := x.tape.NewTensor(x.Value.R, x.Value.C)
 	tensor.ScaleInto(out, x.Value, s)
 	if x.tape.capturing {
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("scale", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			tensor.ScaleInto(out, x.Value, s)
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -504,11 +580,11 @@ func Dropout(x *Var, p float32, rnd func() float32) *Var {
 		// Replays re-draw from rnd in op order; since draw counts track the
 		// live shapes, a replayed epoch consumes the same random stream the
 		// eager epoch would, keeping the two bit-identical.
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("dropout", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			mask.Resize(x.Value.R, x.Value.C)
 			tensor.DropoutInto(out, x.Value, mask, p, rnd)
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out, mask})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -543,11 +619,11 @@ func RowsLive(x *Var, n func() int) *Var {
 	}
 	out := t.NewView(nv, x.Value.C, x.Value.V[:nv*x.Value.C])
 	if t.capturing {
-		t.Capture(func() {
+		t.CaptureRW("rows", func() {
 			nv := n()
 			out.R, out.C = nv, x.Value.C
 			out.V = x.Value.V[:nv*x.Value.C]
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return t.Op(out, []*Var{x}, func(v *Var) {
 		gx := t.NewTensor(x.Value.R, x.Value.C)
@@ -573,10 +649,10 @@ func ConcatCols(a, b *Var) *Var {
 	if a.tape.capturing {
 		// Column widths are structural (fixed per capture); row counts are
 		// read live.
-		a.tape.Capture(func() {
+		a.tape.CaptureRW("concat", func() {
 			out.Resize(a.Value.R, ca+cb)
 			concat()
-		})
+		}, []*tensor.Dense{a.Value, b.Value}, []*tensor.Dense{out})
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
@@ -611,10 +687,10 @@ func GatherRows(x *Var, idx []int) *Var {
 	if x.tape.capturing {
 		// idx is structural: a capture is only valid while the caller keeps
 		// feeding the same index set.
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("gather", func() {
 			out.Resize(len(idx), x.Value.C)
 			gather()
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)
@@ -647,10 +723,10 @@ func RowDot(a, b *Var) *Var {
 	}
 	rowdot()
 	if a.tape.capturing {
-		a.tape.Capture(func() {
+		a.tape.CaptureRW("rowdot", func() {
 			out.Resize(a.Value.R, 1)
 			rowdot()
-		})
+		}, []*tensor.Dense{a.Value, b.Value}, []*tensor.Dense{out})
 	}
 	return a.tape.Op(out, []*Var{a, b}, func(v *Var) {
 		if a.needGrad {
@@ -692,10 +768,10 @@ func ScaleByScalarPlusOne(x, s *Var) *Var {
 	// two stay equivalent.
 	tensor.ScaleInto(out, x.Value, 1+s.Value.V[0])
 	if x.tape.capturing {
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("scale1p", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			tensor.ScaleInto(out, x.Value, 1+s.Value.V[0])
-		})
+		}, []*tensor.Dense{x.Value, s.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x, s}, func(v *Var) {
 		if x.needGrad {
@@ -747,10 +823,10 @@ func SegmentMeanRows(x *Var, offsets []int) *Var {
 	if x.tape.capturing {
 		// offsets are structural; Resize zeroes out so empty segments stay
 		// zero rows on every replay.
-		x.tape.Capture(func() {
+		x.tape.CaptureRW("segmean", func() {
 			out.Resize(nSeg, x.Value.C)
 			pool()
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return x.tape.Op(out, []*Var{x}, func(v *Var) {
 		gx := x.tape.NewTensor(x.Value.R, x.Value.C)

@@ -58,6 +58,12 @@ type Config struct {
 	// iterations replay the recorded step DAG with one graph launch instead
 	// of per-kernel launches. Model math and accuracy are bit-identical.
 	CaptureGraph bool
+	// Schedule routes every WholeGraph trainer's replays through the
+	// whole-step scheduler (see train.Options.Schedule): the captured step's
+	// charges are list-scheduled onto the compute and copy streams from the
+	// recovered dependency DAG. Implies CaptureGraph; model math and
+	// accuracy are bit-identical.
+	Schedule bool
 	// PagedFeatures routes every WholeGraph trainer's features through the
 	// out-of-core paged store (see train.Options.PagedFeatures): host
 	// features live in encoded pages behind per-device LRU BlockCaches,
@@ -123,7 +129,7 @@ func (c Config) trainOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 4, Dropout: 0.5, LR: 0.003, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
-		CaptureGraph:  c.CaptureGraph,
+		CaptureGraph: c.CaptureGraph, Schedule: c.Schedule,
 		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
 		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
 		PagedTopo: c.PagedTopo, TopoPageEdges: c.TopoPageEdges,
@@ -150,7 +156,7 @@ func (c Config) accuracyOpts(arch string) train.Options {
 	o := train.Options{
 		Arch: arch, Heads: 2, Dropout: 0.3, LR: 0.01, Seed: c.Seed,
 		Pipeline: c.Pipeline, CacheRows: c.CacheRows, OverlapGrads: c.OverlapGrads,
-		CaptureGraph:  c.CaptureGraph,
+		CaptureGraph: c.CaptureGraph, Schedule: c.Schedule,
 		PagedFeatures: c.PagedFeatures, FeatEncoding: c.FeatEncoding,
 		FeatPageRows: c.FeatPageRows, FeatCacheMB: c.FeatCacheMB,
 		PagedTopo: c.PagedTopo, TopoPageEdges: c.TopoPageEdges,

@@ -141,7 +141,7 @@ func AblationGraph(cfg Config) ([]GraphRow, error) {
 				break
 			}
 		}
-		captures, replays, invalidations := graph.tr.GraphStats()
+		gc := graph.tr.GraphStats()
 		rows[i] = GraphRow{
 			Arch: c.arch, Nodes: c.nodes,
 			EagerEpoch: eager.last.EpochTime, GraphEpoch: graph.last.EpochTime,
@@ -149,7 +149,7 @@ func AblationGraph(cfg Config) ([]GraphRow, error) {
 			EagerHostNsIter: eager.nsIter, GraphHostNsIter: graph.nsIter,
 			EagerAllocsIter: float64(eager.mallocs) / float64(eager.iters),
 			GraphAllocsIter: float64(graph.mallocs) / float64(graph.iters),
-			Captures:        captures, Replays: replays, Invalidations: invalidations,
+			Captures:        gc.Captures, Replays: gc.Replays, Invalidations: gc.Invalidations,
 			LossMatch: match,
 		}
 		return nil

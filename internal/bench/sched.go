@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/train"
+)
+
+// SchedRow reports one cell of the whole-step scheduler ablation: the same
+// training run in capture/replay steady state, replayed serially (plain
+// CaptureGraph) and through the whole-step scheduler (train.Options.
+// Schedule), which list-schedules each step's recovered dependency DAG onto
+// the compute and copy streams.
+type SchedRow struct {
+	Arch    string
+	Nodes   int
+	Overlap bool // bucketed gradient overlap active in both runs
+	// CapturedEpoch / ScheduledEpoch: virtual epoch time of a steady-state
+	// epoch. Model math is bit-identical either way.
+	CapturedEpoch, ScheduledEpoch float64
+	Speedup                       float64
+	// Scheduled counts the scheduled run's scheduler-placed replays.
+	Scheduled int64
+	// LossMatch: every epoch's loss was bit-identical between the two runs.
+	LossMatch bool
+}
+
+// AblationSched evaluates the whole-step scheduler against plain
+// capture/replay: both sides replay the same captured step, but the
+// scheduled side re-places the step's kernel charges by list scheduling —
+// a Linear's dX and dW backward GEMMs and sibling branches overlap across
+// the two streams — and extends the graph bracket over loss and optimizer.
+// The scheduler's serial fallback guarantees scheduled <= captured per
+// step; the interesting number is how much the DAG's width buys per
+// architecture.
+func AblationSched(cfg Config) ([]SchedRow, error) {
+	cfg = cfg.normalize()
+	cfg.printf("Ablation: whole-step DAG scheduling vs plain capture/replay (ogbn-products)\n")
+	cfg.printf("%10s %6s %8s %12s %12s %9s %10s %6s\n",
+		"arch", "nodes", "overlap", "captured", "scheduled", "speedup", "sched-its", "loss")
+
+	type cell struct {
+		arch    string
+		nodes   int
+		overlap bool
+	}
+	var cells []cell
+	archs := []string{"gcn", "graphsage", "gat"}
+	if cfg.Quick {
+		archs = []string{"graphsage", "gat"}
+	}
+	for _, arch := range archs {
+		for _, nodes := range []int{1, 2} {
+			if cfg.Quick && nodes > 1 && arch != "graphsage" {
+				continue
+			}
+			for _, overlap := range []bool{false, true} {
+				if cfg.Quick && overlap && arch != "graphsage" {
+					continue
+				}
+				cells = append(cells, cell{arch, nodes, overlap})
+			}
+		}
+	}
+
+	const warmEpochs, measureEpochs = 2, 1
+	rows := make([]SchedRow, len(cells))
+	err := cfg.runCells(len(cells), func(i int) error {
+		c := cells[i]
+		ds, err := generate(dataset.OgbnProducts.Scaled(cfg.Scale))
+		if err != nil {
+			return err
+		}
+		opts := cfg.trainOpts(c.arch)
+		opts.OverlapGrads = c.overlap
+
+		run := func(schedule bool) (losses []float64, last train.EpochStats, tr *train.Trainer, err error) {
+			opts.CaptureGraph = true
+			opts.Schedule = schedule
+			_, tr, err = newTrainer(FwWholeGraph, c.nodes, ds, opts)
+			if err != nil {
+				return nil, train.EpochStats{}, nil, err
+			}
+			for e := 0; e < warmEpochs+measureEpochs; e++ {
+				last = tr.RunEpoch()
+				losses = append(losses, last.Loss)
+			}
+			return losses, last, tr, nil
+		}
+		capLosses, capLast, _, err := run(false)
+		if err != nil {
+			return err
+		}
+		schedLosses, schedLast, schedTr, err := run(true)
+		if err != nil {
+			return err
+		}
+		match := len(capLosses) == len(schedLosses)
+		for e := range capLosses {
+			if !match || capLosses[e] != schedLosses[e] {
+				match = false
+				break
+			}
+		}
+		rows[i] = SchedRow{
+			Arch: c.arch, Nodes: c.nodes, Overlap: c.overlap,
+			CapturedEpoch: capLast.EpochTime, ScheduledEpoch: schedLast.EpochTime,
+			Speedup:   capLast.EpochTime / schedLast.EpochTime,
+			Scheduled: schedTr.GraphStats().Scheduled,
+			LossMatch: match,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		loss := "match"
+		if !r.LossMatch {
+			loss = "DRIFT"
+		}
+		ov := "off"
+		if r.Overlap {
+			ov = "on"
+		}
+		cfg.printf("%10s %6d %8s %12s %12s %8.2fx %10d %6s\n",
+			r.Arch, r.Nodes, ov, fmtSeconds(r.CapturedEpoch), fmtSeconds(r.ScheduledEpoch),
+			r.Speedup, r.Scheduled, loss)
+	}
+	return rows, nil
+}
+
+// GraphCounterTotals is the aggregate step-graph accounting across every
+// trainer built since process start.
+type GraphCounterTotals struct {
+	Captures      int64 `json:"captures"`
+	Replays       int64 `json:"replays"`
+	Invalidations int64 `json:"invalidations"`
+	Fallbacks     int64 `json:"fallbacks"`
+	Scheduled     int64 `json:"scheduled"`
+}
+
+// GraphCountersTotal reports capture/replay/invalidation/fallback/scheduled
+// counts across every trainer built since process start. It reads the train
+// package's process-wide atomic totals rather than holding trainers in a
+// registry — a registry would keep every cell's machine alive for the run.
+func GraphCountersTotal() GraphCounterTotals {
+	c := train.GlobalGraphCounters()
+	return GraphCounterTotals{
+		Captures:      c.Captures,
+		Replays:       c.Replays,
+		Invalidations: c.Invalidations,
+		Fallbacks:     c.Fallbacks,
+		Scheduled:     c.Scheduled,
+	}
+}

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestAblationSchedRegression pins the scheduler's performance guarantee at
+// the harness level: in every cell the scheduled epoch is no slower than
+// the plain captured one (the serial fallback makes this a hard invariant),
+// at least one cell shows a strict win, losses match bit-for-bit, and
+// scheduled replays actually ran.
+func TestAblationSchedRegression(t *testing.T) {
+	rows, err := AblationSched(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no cells ran")
+	}
+	strict := false
+	for _, r := range rows {
+		if !r.LossMatch {
+			t.Errorf("%s/%d overlap=%v: loss drifted between captured and scheduled", r.Arch, r.Nodes, r.Overlap)
+		}
+		if r.Scheduled == 0 {
+			t.Errorf("%s/%d overlap=%v: no scheduled replays", r.Arch, r.Nodes, r.Overlap)
+		}
+		if r.ScheduledEpoch > r.CapturedEpoch {
+			t.Errorf("%s/%d overlap=%v: scheduled epoch %.6g slower than captured %.6g",
+				r.Arch, r.Nodes, r.Overlap, r.ScheduledEpoch, r.CapturedEpoch)
+		}
+		if r.ScheduledEpoch < r.CapturedEpoch {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no cell showed a strict scheduled win over plain capture")
+	}
+}

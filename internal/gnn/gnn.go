@@ -192,10 +192,12 @@ func chargeEltwiseFwd(dev *sim.Device, x *autograd.Var) {
 
 // hookEltwiseBwd charges the backward half of an elementwise pass at
 // tape-replay time, when out's gradient is actually computed — mirroring
-// how Linear charges its backward GEMMs.
-func hookEltwiseBwd(dev *sim.Device, out *autograd.Var) {
+// how Linear charges its backward GEMMs. in is the op's input: declaring
+// the hook as producing in's gradient (OnBackwardFor) gives the charge its
+// own node in the whole-step scheduler's DAG.
+func hookEltwiseBwd(dev *sim.Device, out, in *autograd.Var) {
 	if dev != nil {
-		out.OnBackward(func() { nn.ChargeElementwiseBackward(dev, int64(len(out.Value.V))) })
+		out.OnBackwardFor(in, func() { nn.ChargeElementwiseBackward(dev, int64(len(out.Value.V))) })
 	}
 }
 
@@ -219,13 +221,15 @@ func sliceTargets(x *autograd.Var, blk *spops.SubCSR) *autograd.Var {
 	return autograd.Rows(x, blk.NumTargets)
 }
 
-// dropoutVar applies dropout when training with p > 0.
+// dropoutVar applies dropout when training with p > 0. The forward charge
+// is recorded after the op so its capture rider lands on the dropout's DAG
+// node (the element counts are equal either way).
 func dropoutVar(dev *sim.Device, x *autograd.Var, p float32, train bool, rng *rand.Rand) *autograd.Var {
 	if !train || p <= 0 {
 		return x
 	}
-	chargeEltwiseFwd(dev, x)
 	out := autograd.Dropout(x, p, rng.Float32)
-	hookEltwiseBwd(dev, out)
+	chargeEltwiseFwd(dev, out)
+	hookEltwiseBwd(dev, out, x)
 	return out
 }

@@ -66,9 +66,10 @@ func (m *GCN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autogra
 	agg := spops.SpMM(dev, m.cfg.Backend, slBlk, x, nil, spops.AggMean)
 	out := m.layers[l].Apply(dev, agg)
 	if !last {
-		chargeEltwiseFwd(dev, out)
+		pre := out
 		out = autograd.ReLU(out)
-		hookEltwiseBwd(dev, out)
+		chargeEltwiseFwd(dev, out)
+		hookEltwiseBwd(dev, out, pre)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out
@@ -128,9 +129,10 @@ func (m *SAGE) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autogr
 	agg := spops.SpMM(dev, m.cfg.Backend, blk, x, nil, spops.AggMean)
 	out := m.layers[l].Apply(dev, autograd.ConcatCols(self, agg))
 	if !last {
-		chargeEltwiseFwd(dev, out)
+		pre := out
 		out = autograd.ReLU(out)
-		hookEltwiseBwd(dev, out)
+		chargeEltwiseFwd(dev, out)
+		hookEltwiseBwd(dev, out, pre)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out
@@ -231,9 +233,9 @@ func (m *GAT) ForwardLayer(dev *sim.Device, l int, rawBlk *spops.SubCSR, x *auto
 	if last {
 		return autograd.Scale(headsOut, 1/float32(m.cfg.Heads))
 	}
-	chargeEltwiseFwd(dev, headsOut)
 	relu := autograd.ReLU(headsOut)
-	hookEltwiseBwd(dev, relu)
+	chargeEltwiseFwd(dev, relu)
+	hookEltwiseBwd(dev, relu, headsOut)
 	return dropoutVar(dev, relu, m.cfg.Dropout, train, m.rng)
 }
 
@@ -327,9 +329,10 @@ func (m *GIN) ForwardLayer(dev *sim.Device, l int, blk *spops.SubCSR, x *autogra
 	h := autograd.Add(scaled, agg)
 	out := m.mlp2[l].Apply(dev, autograd.ReLU(m.mlp1[l].Apply(dev, h)))
 	if !last {
-		chargeEltwiseFwd(dev, out)
+		pre := out
 		out = autograd.ReLU(out)
-		hookEltwiseBwd(dev, out)
+		chargeEltwiseFwd(dev, out)
+		hookEltwiseBwd(dev, out, pre)
 		out = dropoutVar(dev, out, m.cfg.Dropout, train, m.rng)
 	}
 	return out

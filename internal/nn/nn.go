@@ -131,21 +131,27 @@ func NewLinear(s *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
 }
 
 // Apply computes x*W + b on the tape, charging the forward GEMM to dev now
-// and the two backward GEMMs at tape-replay time via an OnBackward hook on
-// the matmul node — so backward compute lands on the device clock exactly
-// when the gradient work happens, which is what lets gradient communication
-// overlap with it. dev may be nil for pure computation.
+// and the two backward GEMMs at tape-replay time via backward hooks on the
+// matmul node — so backward compute lands on the device clock exactly when
+// the gradient work happens, which is what lets gradient communication
+// overlap with it. The dX and dW charges are registered as separate
+// targeted hooks (OnBackwardFor): they are independent GEMMs, and the
+// whole-step scheduler exploits that by placing them on different streams.
+// The forward charge is captured after the matmul step so it rides the
+// matmul's DAG node on replays. dev may be nil for pure computation.
 func (l *Linear) Apply(dev *sim.Device, x *autograd.Var) *autograd.Var {
 	tp := x.Tape()
 	ChargeLinearForward(dev, x.Value.R, l.In, l.Out)
+	wv := l.W.Var()
+	mm := autograd.MatMul(x, wv)
 	if dev != nil && tp.Capturing() {
 		tp.Capture(func() { ChargeLinearForward(dev, x.Value.R, l.In, l.Out) })
 	}
-	mm := autograd.MatMul(x, l.W.Var())
 	if dev != nil {
 		// Row count is read live so replayed iterations charge the GEMMs of
 		// their own batch size.
-		mm.OnBackward(func() { ChargeLinearBackward(dev, x.Value.R, l.In, l.Out) })
+		mm.OnBackwardFor(x, func() { ChargeLinearBackwardDX(dev, x.Value.R, l.In, l.Out) })
+		mm.OnBackwardFor(wv, func() { ChargeLinearBackwardDW(dev, x.Value.R, l.In, l.Out) })
 	}
 	return autograd.AddBias(mm, l.B.Var())
 }
@@ -159,14 +165,29 @@ func ChargeLinearForward(dev *sim.Device, rows, in, out int) {
 	dev.Gemm(rows, out, in, "linear.fwd")
 }
 
-// ChargeLinearBackward charges dev the two backward GEMMs (dX and dW) of a
-// Linear of the given sizes. nil dev charges nothing.
-func ChargeLinearBackward(dev *sim.Device, rows, in, out int) {
+// ChargeLinearBackwardDX charges dev the dX backward GEMM of a Linear of
+// the given sizes. nil dev charges nothing.
+func ChargeLinearBackwardDX(dev *sim.Device, rows, in, out int) {
 	if dev == nil {
 		return
 	}
 	dev.Gemm(rows, in, out, "linear.bwd.dx")
+}
+
+// ChargeLinearBackwardDW charges dev the dW backward GEMM of a Linear of
+// the given sizes. nil dev charges nothing.
+func ChargeLinearBackwardDW(dev *sim.Device, rows, in, out int) {
+	if dev == nil {
+		return
+	}
 	dev.Gemm(in, out, rows, "linear.bwd.dw")
+}
+
+// ChargeLinearBackward charges dev the two backward GEMMs (dX and dW) of a
+// Linear of the given sizes. nil dev charges nothing.
+func ChargeLinearBackward(dev *sim.Device, rows, in, out int) {
+	ChargeLinearBackwardDX(dev, rows, in, out)
+	ChargeLinearBackwardDW(dev, rows, in, out)
 }
 
 // ChargeLinear charges dev for a Linear of the given sizes: one forward

@@ -1,0 +1,85 @@
+package sched
+
+// Issue-ordering decisions the trainer delegates to the scheduler: the
+// order and per-device gates of gradient-bucket AllReduces, and the action
+// sequence of one pipelined epoch-loop iteration. Pure functions of their
+// inputs, deterministic, allocation-free on reuse.
+
+// BucketOrder fills order with all bucket indices sorted by fleet-wide
+// readiness (ties by index) — the order DDP's reducer flushes buckets.
+// maxReady[b] is bucket b's readiness across workers; order's backing
+// array is reused when large enough.
+func BucketOrder(maxReady []float64, order []int) []int {
+	order = order[:0]
+	for b := range maxReady {
+		order = append(order, b)
+	}
+	// Insertion sort: bucket counts are small and this stays allocation-free.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && maxReady[order[j]] < maxReady[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// GateStarts fills startAt (one entry per device) with the earliest time
+// each device may join bucket b's AllReduce: real workers at their own
+// backward readiness, mirror devices at the busiest worker's (matching how
+// their compute is mirrored). devWorker maps device index to real-worker
+// index, -1 for mirrors; readyAt is indexed [worker][bucket].
+func GateStarts(devWorker []int, readyAt [][]float64, b int, maxReady float64, startAt []float64) {
+	for i, w := range devWorker {
+		if w >= 0 {
+			startAt[i] = readyAt[w][b]
+		} else {
+			startAt[i] = maxReady
+		}
+	}
+}
+
+// Op is one kind of pipelined-loop action.
+type Op int
+
+const (
+	// OpPrime issues the very first Prefetch of the epoch (iteration 0).
+	OpPrime Op = iota
+	// OpCollect joins the in-flight Prefetch of this iteration's batch.
+	OpCollect
+	// OpPrefetch issues the copy-stream build of the next batch.
+	OpPrefetch
+	// OpPrefetchPages fault-prefetches out-of-core pages for the batch one
+	// past the in-flight one (its full build already faults its own pages).
+	OpPrefetchPages
+	// OpCompute runs the training step on the collected batch.
+	OpCompute
+)
+
+// PlanStep is one action of a worker's per-iteration plan: perform Op on
+// batch index Batch (callers wrap Batch modulo their ring size).
+type PlanStep struct {
+	Op    Op
+	Batch int
+}
+
+// PipelinePlan returns the issue order for iteration it of measured
+// iterations: prime the ring on the first iteration, collect the batch in
+// flight, immediately re-arm the ring with the next batch so its build
+// overlaps this step's compute, optionally page-prefetch one batch further
+// ahead (pagePrefetch — Options.PrefetchPages under Options.Pipeline), and
+// only then compute. dst's backing array is reused when large enough.
+func PipelinePlan(dst []PlanStep, it, measured int, pagePrefetch bool) []PlanStep {
+	dst = dst[:0]
+	if it == 0 {
+		dst = append(dst, PlanStep{Op: OpPrime, Batch: 0})
+	}
+	dst = append(dst, PlanStep{Op: OpCollect, Batch: it})
+	if next := it + 1; next < measured {
+		dst = append(dst, PlanStep{Op: OpPrefetch, Batch: next})
+	}
+	if ahead := it + 2; pagePrefetch && ahead < measured {
+		dst = append(dst, PlanStep{Op: OpPrefetchPages, Batch: ahead})
+	}
+	dst = append(dst, PlanStep{Op: OpCompute, Batch: it})
+	return dst
+}

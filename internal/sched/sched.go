@@ -1,0 +1,423 @@
+// Package sched is the whole-step scheduler: it turns one captured
+// training step (internal/autograd capture/replay, DESIGN.md §9) into an
+// explicit dependency DAG and re-places the step's device charges onto the
+// simulated GPU's two streams by list scheduling, so independent kernels —
+// a Linear layer's dX and dW backward GEMMs, sibling attention heads — run
+// concurrently the way a CUDA Graph with multi-stream capture would.
+//
+// The substrate is record-and-schedule replay: all host math still runs in
+// the original captured order (losses, gradients and model state stay
+// bit-identical to eager execution); only the *virtual-time placement* of
+// the device charges is decided by the scheduler. A Recorder attaches to
+// the device (sim.ChargeRecorder) so charges route to DAG nodes instead of
+// advancing the clocks, observes the replay through autograd.ReplayObserver
+// to open nodes and recover producer/consumer edges (value tensors keyed by
+// buffer identity, gradients keyed by their Var), then schedules the DAG
+// and applies each node's charges at its scheduled position.
+//
+// The same package owns the two smaller issue-ordering decisions the
+// trainer used to hand-wire: the readiness order and per-device start gates
+// of gradient-bucket AllReduces (BucketOrder, GateStarts — consumed by
+// train's overlap engine), and the per-iteration action sequence of the
+// pipelined epoch loop (PipelinePlan).
+package sched
+
+import (
+	"fmt"
+
+	"wholegraph/internal/autograd"
+	"wholegraph/internal/sim"
+	"wholegraph/internal/tensor"
+)
+
+// Charge is one device charge recorded for a DAG node, in record order.
+type Charge struct {
+	Dur  float64
+	Tag  string
+	Comm bool
+}
+
+// Node is one schedulable unit of a captured step: a forward op (opened by
+// a CaptureRW step), a tape node's backward closure, a targeted backward
+// hook, the loss, or the root graph-launch node (ID 1). Deps point at
+// lower-ID nodes (record order is topological).
+type Node struct {
+	ID      int // 1-based; 0 is never a valid node
+	Label   string
+	Deps    []int
+	Charges []Charge
+	Dur     float64 // sum of charge durations
+
+	// Filled by Schedule.
+	Copy       bool // placed on the copy stream (else compute)
+	Start, End float64
+}
+
+// Recorder builds and schedules the DAG for one replayed step. It is owned
+// by one worker goroutine, like the device and tape it observes, and is
+// reused across iterations via Reset.
+type Recorder struct {
+	nodes []Node
+	cur   int // ID of the node currently accepting charges
+
+	// Last-writer maps for dependency recovery. Value tensors are
+	// pointer-stable across replays of a valid capture; gradients are keyed
+	// by Var because their tensors allocate lazily.
+	valWriter  map[*tensor.Dense]int
+	gradWriter map[*autograd.Var]int
+
+	// Schedule results and scratch, reused across iterations.
+	makespan float64
+	serial   bool // fell back to serial order (schedule was no better)
+	prio     []float64
+	est      []float64
+	rem      []int
+	succs    [][]int
+	order    []int // node indices in placement order
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		valWriter:  make(map[*tensor.Dense]int),
+		gradWriter: make(map[*autograd.Var]int),
+	}
+}
+
+// Reset clears the DAG for the next step and opens the root graph-launch
+// node (ID 1): charges recorded before the first observed op — the
+// GraphLaunch of sim.BeginGraphReplay — attach there, and every later node
+// implicitly starts after it.
+func (r *Recorder) Reset() {
+	for i := range r.nodes {
+		r.nodes[i].Deps = r.nodes[i].Deps[:0]
+		r.nodes[i].Charges = r.nodes[i].Charges[:0]
+	}
+	r.nodes = r.nodes[:0]
+	clear(r.valWriter)
+	clear(r.gradWriter)
+	r.makespan, r.serial = 0, false
+	r.open("launch")
+}
+
+// open appends a fresh node, makes it current, and returns it. Every node
+// but the root depends on the root.
+func (r *Recorder) open(label string) *Node {
+	n := len(r.nodes)
+	if n < cap(r.nodes) {
+		r.nodes = r.nodes[:n+1]
+	} else {
+		r.nodes = append(r.nodes, Node{})
+	}
+	nd := &r.nodes[n]
+	nd.ID, nd.Label = n+1, label
+	nd.Deps, nd.Charges = nd.Deps[:0], nd.Charges[:0]
+	nd.Dur, nd.Start, nd.End, nd.Copy = 0, 0, 0, false
+	if nd.ID != 1 {
+		nd.Deps = append(nd.Deps, 1)
+	}
+	r.cur = nd.ID
+	return nd
+}
+
+// dep adds an edge nd -> id (nd starts after id ends), deduplicated.
+func (r *Recorder) dep(nd *Node, id int) {
+	for _, d := range nd.Deps {
+		if d == id {
+			return
+		}
+	}
+	nd.Deps = append(nd.Deps, id)
+}
+
+// RecordCharge implements sim.ChargeRecorder: the charge attaches to the
+// current node. Plain Capture riders (cost annotations recorded next to an
+// op) land on the op's node because they replay while it is current.
+func (r *Recorder) RecordCharge(dt float64, tag string, comm bool) {
+	nd := &r.nodes[r.cur-1]
+	nd.Charges = append(nd.Charges, Charge{Dur: dt, Tag: tag, Comm: comm})
+	nd.Dur += dt
+}
+
+// ForwardNode implements autograd.ReplayObserver for a CaptureRW step:
+// RAW edges from the writers of its reads, WAW edges from (and then to)
+// the writers of its writes.
+func (r *Recorder) ForwardNode(label string, reads, writes []*tensor.Dense) {
+	nd := r.open(label)
+	for _, t := range reads {
+		if w, ok := r.valWriter[t]; ok {
+			r.dep(nd, w)
+		}
+	}
+	for _, t := range writes {
+		if w, ok := r.valWriter[t]; ok {
+			r.dep(nd, w)
+		}
+		r.valWriter[t] = nd.ID
+	}
+}
+
+// BackwardNode implements autograd.ReplayObserver for a tape node's
+// backward closure: it reads v's gradient and the forward values of v and
+// its inputs, and accumulates into each needs-grad input's gradient. It is
+// opened before the closure runs because custom ops (spops) charge their
+// backward kernels inline within it.
+func (r *Recorder) BackwardNode(v *autograd.Var) {
+	nd := r.open("bwd")
+	if w, ok := r.gradWriter[v]; ok {
+		r.dep(nd, w)
+	}
+	if w, ok := r.valWriter[v.Value]; ok {
+		r.dep(nd, w)
+	}
+	for _, in := range v.Inputs() {
+		if w, ok := r.valWriter[in.Value]; ok {
+			r.dep(nd, w)
+		}
+		if in.NeedsGrad() {
+			if w, ok := r.gradWriter[in]; ok {
+				r.dep(nd, w)
+			}
+			r.gradWriter[in] = nd.ID
+		}
+	}
+}
+
+// HookNode implements autograd.ReplayObserver for a targeted backward hook
+// (OnBackwardFor): a node producing target's gradient from v's. Splitting
+// these off the backward spine is what lets a Linear layer's dW GEMM
+// schedule concurrently with the dX chain below it.
+func (r *Recorder) HookNode(v, target *autograd.Var) {
+	nd := r.open("hook")
+	if w, ok := r.gradWriter[v]; ok {
+		r.dep(nd, w)
+	}
+	if w, ok := r.valWriter[v.Value]; ok {
+		r.dep(nd, w)
+	}
+	for _, in := range v.Inputs() {
+		if w, ok := r.valWriter[in.Value]; ok {
+			r.dep(nd, w)
+		}
+	}
+	if w, ok := r.gradWriter[target]; ok {
+		r.dep(nd, w)
+	}
+	r.gradWriter[target] = nd.ID
+}
+
+// LossNode marks the loss/seed region between forward and backward replay:
+// it reads the logits value and produces the logits gradient, joining the
+// forward frontier to the backward spine. The loss math itself is host
+// work and carries no device charges.
+func (r *Recorder) LossNode(logits *autograd.Var) {
+	nd := r.open("loss")
+	if w, ok := r.valWriter[logits.Value]; ok {
+		r.dep(nd, w)
+	}
+	r.gradWriter[logits] = nd.ID
+}
+
+// Nodes returns the recorded DAG (valid until the next Reset).
+func (r *Recorder) Nodes() []Node { return r.nodes }
+
+// Makespan returns the completion time of the scheduled step (absolute
+// virtual time), valid after Schedule.
+func (r *Recorder) Makespan() float64 { return r.makespan }
+
+// Serial reports whether Schedule fell back to the serial compute-stream
+// order because list scheduling found no improvement.
+func (r *Recorder) Serial() bool { return r.serial }
+
+// GradReadyTime returns the scheduled end of the last node producing v's
+// gradient, or def if no node wrote it. The overlap engine derives bucket
+// AllReduce gates from this instead of the eager path's replay-time clock
+// reads (which are meaningless while charges are being recorded).
+func (r *Recorder) GradReadyTime(v *autograd.Var, def float64) float64 {
+	if id, ok := r.gradWriter[v]; ok {
+		return r.nodes[id-1].End
+	}
+	return def
+}
+
+// Schedule places the recorded nodes onto the two streams by list
+// scheduling and returns the makespan. computeFree/copyFree are the
+// streams' current clocks. Priority is critical-path length; the highest
+// priority ready node goes to whichever stream finishes it earlier (ties
+// to compute), which keeps the dependence spine on the compute stream and
+// shunts off-spine work (dW GEMMs, sibling branches) to the copy stream
+// when it is idle. If the resulting makespan would exceed the plain serial
+// order — possible, greedy list scheduling is not optimal — the schedule
+// falls back to serial so a scheduled step is never slower than a captured
+// one. Deterministic: same DAG and clocks, same schedule, on any worker
+// count.
+func (r *Recorder) Schedule(computeFree, copyFree float64) float64 {
+	n := len(r.nodes)
+	if n == 0 {
+		r.makespan = computeFree
+		return r.makespan
+	}
+	r.prio = grow(r.prio, n)
+	r.est = grow(r.est, n)
+	r.rem = growInt(r.rem, n)
+	r.order = r.order[:0]
+	for len(r.succs) < n {
+		r.succs = append(r.succs, nil)
+	}
+	succs := r.succs[:n]
+	for i := range succs {
+		succs[i] = succs[i][:0]
+	}
+	// Critical-path priority: record order is topological (deps point to
+	// lower IDs), so one descending sweep finalizes each node's priority
+	// before relaxing its deps.
+	for i := 0; i < n; i++ {
+		r.prio[i] = r.nodes[i].Dur
+		r.est[i] = 0
+		r.rem[i] = len(r.nodes[i].Deps)
+		for _, d := range r.nodes[i].Deps {
+			succs[d-1] = append(succs[d-1], i)
+		}
+	}
+	for j := n - 1; j >= 1; j-- {
+		pj := r.prio[j]
+		for _, dep := range r.nodes[j].Deps {
+			d := dep - 1
+			if c := r.nodes[d].Dur + pj; c > r.prio[d] {
+				r.prio[d] = c
+			}
+		}
+	}
+	compute, copyT := computeFree, copyFree
+	total := 0.0
+	for i := range r.nodes {
+		total += r.nodes[i].Dur
+	}
+	placed := 0
+	makespan := computeFree
+	for placed < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if r.rem[i] == 0 && !scheduledMark(&r.nodes[i]) {
+				if best == -1 || r.prio[i] > r.prio[best] {
+					best = i
+				}
+			}
+		}
+		nd := &r.nodes[best]
+		s := r.est[best]
+		startC := max2(compute, s)
+		startK := max2(copyT, s)
+		// The root stays on compute (a graph launch is host dispatch on the
+		// compute stream); everything else picks the earlier finisher.
+		if best == 0 || startC <= startK {
+			nd.Copy, nd.Start = false, startC
+			compute = startC + nd.Dur
+			nd.End = compute
+		} else {
+			nd.Copy, nd.Start = true, startK
+			copyT = startK + nd.Dur
+			nd.End = copyT
+		}
+		if nd.End > makespan {
+			makespan = nd.End
+		}
+		markScheduled(nd)
+		r.order = append(r.order, best)
+		for _, sj := range succs[best] {
+			r.rem[sj]--
+			if nd.End > r.est[sj] {
+				r.est[sj] = nd.End
+			}
+		}
+		placed++
+	}
+	serialEnd := computeFree + total
+	if makespan > serialEnd {
+		// Greedy placement lost to the serial order; redo everything on the
+		// compute stream in record order so scheduled <= captured holds.
+		r.serial = true
+		r.order = r.order[:0]
+		t := computeFree
+		for i := range r.nodes {
+			nd := &r.nodes[i]
+			nd.Copy, nd.Start = false, t
+			t += nd.Dur
+			nd.End = t
+			r.order = append(r.order, i)
+		}
+		makespan = t
+	}
+	// Restore the IDs the placement loop negated, so the DAG is readable
+	// (and reschedulable) without an Apply in between.
+	for i := range r.nodes {
+		if r.nodes[i].ID < 0 {
+			r.nodes[i].ID = -r.nodes[i].ID
+		}
+	}
+	r.makespan = makespan
+	return makespan
+}
+
+// scheduledMark/markScheduled track placement without an extra slice: an
+// unplaced node has Start == End == 0 and rem == 0 is not enough (zero-dur
+// nodes at time 0 would alias), so placement is marked by setting ID
+// negative for the duration of the placement loop.
+func scheduledMark(nd *Node) bool { return nd.ID < 0 }
+func markScheduled(nd *Node)      { nd.ID = -nd.ID }
+
+// Apply replays the recorded charges onto dev at their scheduled
+// positions: per node, switch to its stream, idle up to its start, and
+// apply its charges in record order — so BusySeconds/CommSeconds accrue
+// exactly once, at placement. Afterwards the compute stream joins the
+// makespan (the step is not done until every node is), annotated trace
+// intervals carry the node IDs, and — when tracing — each node's reserved
+// span is emitted on the scheduler decision lane.
+func (r *Recorder) Apply(dev *sim.Device) {
+	prev := dev.CurrentStream()
+	for _, i := range r.order {
+		nd := &r.nodes[i]
+		k := sim.StreamCompute
+		if nd.Copy {
+			k = sim.StreamCopy
+		}
+		dev.SetStream(k)
+		dev.IdleUntil(nd.Start)
+		if dev.Tracing && nd.Dur > 0 {
+			lane := "compute"
+			if nd.Copy {
+				lane = "copy"
+			}
+			dev.RecordDecision(nd.Start, nd.End, fmt.Sprintf("%s@%s", nd.Label, lane), nd.ID)
+		}
+		dev.SetSchedNode(nd.ID)
+		for _, c := range nd.Charges {
+			dev.ApplyCharge(c.Dur, c.Tag, c.Comm)
+		}
+		dev.SetSchedNode(0)
+	}
+	dev.SetStream(sim.StreamCompute)
+	dev.IdleUntil(r.makespan)
+	dev.SetStream(prev)
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

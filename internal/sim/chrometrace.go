@@ -25,10 +25,13 @@ type chromeEvent struct {
 
 // WriteChromeTrace writes the recorded intervals of the given devices as a
 // Chrome Trace Event JSON array. Devices appear as threads of one process
-// per machine node: a compute lane, a copy-stream lane (when used), and a
+// per machine node: a compute lane, a copy-stream lane (when used), a
 // comms lane holding the collective engine's transfer intervals from either
-// stream. Idle intervals are emitted in an "idle" category so the viewer
-// can filter them. Devices without tracing enabled contribute nothing.
+// stream, and a scheduler lane showing which span the whole-step scheduler
+// reserved for each DAG node. Idle intervals are emitted in an "idle"
+// category so the viewer can filter them; scheduler-placed work carries its
+// DAG node ID in the event name ("#n12"). Devices without tracing enabled
+// contribute nothing.
 func WriteChromeTrace(w io.Writer, devs []*Device) error {
 	var events []chromeEvent
 	for _, d := range devs {
@@ -41,7 +44,7 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 					name = "idle"
 				}
 			}
-			tid := 3 * d.Local
+			tid := 4 * d.Local
 			if iv.Stream == StreamCopy {
 				cat += ".copy"
 				tid++
@@ -51,7 +54,14 @@ func WriteChromeTrace(w io.Writer, devs []*Device) error {
 			}
 			if iv.Comm {
 				cat = "comm"
-				tid = 3*d.Local + 2
+				tid = 4*d.Local + 2
+			}
+			if iv.Decision {
+				cat = "sched"
+				tid = 4*d.Local + 3
+			}
+			if iv.Node > 0 {
+				name = fmt.Sprintf("%s #n%d", name, iv.Node)
 			}
 			events = append(events, chromeEvent{
 				Name: name,

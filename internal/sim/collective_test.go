@@ -212,7 +212,7 @@ func TestCommTraceAndStats(t *testing.T) {
 		t.Error("chrome trace has no comm category")
 	}
 	if !strings.Contains(out, `"tid":2`) {
-		t.Error("chrome trace has no comms lane (tid 3*local+2)")
+		t.Error("chrome trace has no comms lane (tid 4*local+2)")
 	}
 }
 

@@ -58,6 +58,56 @@ type Device struct {
 	// only for utilization plots; costs memory on long runs).
 	Tracing bool
 	Stats   DeviceStats
+	// rec, when non-nil, intercepts busy/commBusy charges instead of
+	// advancing the stream clocks: the whole-step scheduler (internal/sched)
+	// attaches one while replaying a captured step so it can re-place the
+	// charges onto streams afterwards via ApplyCharge. Kernel's op counters
+	// (Kernels, FLOPs, bytes, GraphKernels) still accrue at record time;
+	// the seconds accrue when the charge is applied — each side exactly once.
+	rec ChargeRecorder
+	// schedNode labels subsequently recorded intervals with a scheduler DAG
+	// node ID (see Interval.Node); 0 means unlabelled.
+	schedNode int
+}
+
+// ChargeRecorder receives the charges a device would have applied to its
+// current stream. comm distinguishes collective-transfer time (commBusy)
+// from kernel time.
+type ChargeRecorder interface {
+	RecordCharge(dt float64, tag string, comm bool)
+}
+
+// AttachRecorder routes this device's busy/commBusy charges to r until
+// DetachRecorder. Idle time is dropped while recording (waits are a
+// scheduling outcome, not a cost of the recorded work).
+func (d *Device) AttachRecorder(r ChargeRecorder) { d.rec = r }
+
+// DetachRecorder restores normal clock-advancing charging.
+func (d *Device) DetachRecorder() { d.rec = nil }
+
+// SetSchedNode labels intervals recorded from now on with the given
+// scheduler DAG node ID (0 clears the label).
+func (d *Device) SetSchedNode(id int) { d.schedNode = id }
+
+// ApplyCharge applies a previously recorded charge to the current stream:
+// the counterpart of ChargeRecorder.RecordCharge, used by the scheduler
+// when it replays charges at their scheduled positions.
+func (d *Device) ApplyCharge(dt float64, tag string, comm bool) {
+	if comm {
+		d.commBusy(dt, tag)
+	} else {
+		d.busy(dt, tag)
+	}
+}
+
+// RecordDecision appends a scheduler-decision annotation covering [start,
+// end) to the trace (no clock movement): the span the list scheduler
+// reserved for DAG node id. No-op unless Tracing.
+func (d *Device) RecordDecision(start, end float64, tag string, id int) {
+	if !d.Tracing {
+		return
+	}
+	d.trace = append(d.trace, Interval{Start: start, End: end, Tag: tag, Stream: d.stream, Node: id, Decision: true})
 }
 
 // Machine returns the machine this device belongs to.
@@ -84,9 +134,13 @@ func (d *Device) busy(dt float64, tag string) {
 	if dt <= 0 {
 		return
 	}
+	if d.rec != nil {
+		d.rec.RecordCharge(dt, tag, false)
+		return
+	}
 	clk := d.clock()
 	if d.Tracing {
-		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Tag: tag, Stream: d.stream, Graph: d.graphDepth > 0})
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Tag: tag, Stream: d.stream, Graph: d.graphDepth > 0, Node: d.schedNode})
 	}
 	*clk += dt
 	if d.stream == StreamCopy {
@@ -103,9 +157,13 @@ func (d *Device) commBusy(dt float64, tag string) {
 	if dt <= 0 {
 		return
 	}
+	if d.rec != nil {
+		d.rec.RecordCharge(dt, tag, true)
+		return
+	}
 	clk := d.clock()
 	if d.Tracing {
-		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Comm: true, Tag: tag, Stream: d.stream})
+		d.trace = append(d.trace, Interval{Start: *clk, End: *clk + dt, Busy: true, Comm: true, Tag: tag, Stream: d.stream, Node: d.schedNode})
 	}
 	*clk += dt
 	if d.stream == StreamCopy {
@@ -118,7 +176,7 @@ func (d *Device) commBusy(dt float64, tag string) {
 
 // idle advances the current stream by dt seconds of idle (waiting) time.
 func (d *Device) idle(dt float64, tag string) {
-	if dt <= 0 {
+	if dt <= 0 || d.rec != nil {
 		return
 	}
 	clk := d.clock()

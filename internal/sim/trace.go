@@ -15,6 +15,14 @@ type Interval struct {
 	Graph  bool
 	Tag    string
 	Stream StreamKind
+	// Node is the 1-based whole-step scheduler DAG node this interval was
+	// issued for, or 0 when the work was not scheduler-placed.
+	Node int
+	// Decision marks a scheduler-decision annotation (the span the list
+	// scheduler reserved for a node) rather than real stream occupancy; the
+	// Chrome trace gives these their own lane and the utilization helpers
+	// ignore them via Busy == false.
+	Decision bool
 }
 
 // FilterStream returns the intervals of one stream, preserving order.

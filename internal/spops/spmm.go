@@ -58,7 +58,15 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 		// batch): norms, shapes and charges all track the live topology. The
 		// backward closure below shares the norm variable, so a growth
 		// reallocation here is visible to it too.
-		tp.Capture(func() {
+		reads := []*tensor.Dense{x.Value}
+		if w != nil {
+			reads = append(reads, w.Value)
+		}
+		writes := []*tensor.Dense{out}
+		if msgs != nil {
+			writes = append(writes, msgs)
+		}
+		tp.CaptureRW("spmm", func() {
 			if g.NumTargets > len(norm) {
 				norm = make([]float32, g.NumTargets)
 			}
@@ -69,7 +77,7 @@ func SpMM(dev *sim.Device, be Backend, g *SubCSR, x *autograd.Var, w *autograd.V
 			}
 			spmmRun(be, g, x.Value, w, norm, msgs, out)
 			chargeSpMMForward(dev, be, g, d)
-		})
+		}, reads, writes)
 	}
 
 	inputs := []*autograd.Var{x}
@@ -217,11 +225,11 @@ func EdgeScore(dev *sim.Device, g *SubCSR, sl, sr *autograd.Var) *autograd.Var {
 	score()
 	chargeSDDMM(dev, g, 1)
 	if tp.Capturing() {
-		tp.Capture(func() {
+		tp.CaptureRW("sddmm", func() {
 			out.Resize(int(g.NumEdges()), 1)
 			score()
 			chargeSDDMM(dev, g, 1)
-		})
+		}, []*tensor.Dense{sl.Value, sr.Value}, []*tensor.Dense{out})
 	}
 	return tp.Op(out, []*autograd.Var{sl, sr}, func(v *autograd.Var) {
 		if sl.NeedsGrad() {
@@ -260,10 +268,10 @@ func EdgeLeakyReLU(dev *sim.Device, x *autograd.Var, slope float32) *autograd.Va
 	}
 	lrelu()
 	if tp.Capturing() {
-		tp.Capture(func() {
+		tp.CaptureRW("leakyrelu", func() {
 			out.Resize(x.Value.R, x.Value.C)
 			lrelu()
-		})
+		}, []*tensor.Dense{x.Value}, []*tensor.Dense{out})
 	}
 	return tp.Op(out, []*autograd.Var{x}, func(v *autograd.Var) {
 		gx := tp.NewTensor(x.Value.R, x.Value.C)
@@ -308,11 +316,11 @@ func SegmentSoftmax(dev *sim.Device, g *SubCSR, e *autograd.Var) *autograd.Var {
 	}
 	softmax()
 	if tp.Capturing() {
-		tp.Capture(func() {
+		tp.CaptureRW("segsoftmax", func() {
 			// Resize zeroes out, so edges of empty segments stay zero.
 			out.Resize(e.Value.R, 1)
 			softmax()
-		})
+		}, []*tensor.Dense{e.Value}, []*tensor.Dense{out})
 	}
 	return tp.Op(out, []*autograd.Var{e}, func(v *autograd.Var) {
 		ge := tp.NewTensor(e.Value.R, 1)

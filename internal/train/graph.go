@@ -1,8 +1,11 @@
 package train
 
 import (
+	"sync/atomic"
+
 	"wholegraph/internal/autograd"
 	"wholegraph/internal/gnn"
+	"wholegraph/internal/sched"
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
 	"wholegraph/internal/tensor"
@@ -72,23 +75,63 @@ type graphState struct {
 	graphs   []map[*gnn.Batch]*stepGraph
 	fallback []bool // worker exceeded maxGraphsPerWorker: stay eager
 
+	// sch is each worker's whole-step scheduler recorder (Options.Schedule);
+	// schedOpen marks a scheduled graph bracket held open across the
+	// gradient sync so the optimizer's kernels land inside it.
+	sch       []*sched.Recorder
+	schedOpen []bool
+
 	captures      []int64
 	replays       []int64
 	invalidations []int64
+	fallbacks     []int64
+	scheduled     []int64
 }
 
-// GraphStats sums capture/replay/invalidation counts across workers. All
-// zero unless Options.CaptureGraph ran.
-func (t *Trainer) GraphStats() (captures, replays, invalidations int64) {
+// GraphCounters aggregates the step-graph machinery's counters across
+// workers. All zero unless Options.CaptureGraph ran.
+type GraphCounters struct {
+	Captures      int64 // eager-priced capture iterations
+	Replays       int64 // iterations replayed from a captured graph
+	Invalidations int64 // captures dropped because batch structure moved
+	Fallbacks     int64 // workers that dropped to permanent eager fallback
+	Scheduled     int64 // replays routed through the whole-step scheduler
+}
+
+// GraphStats sums the capture machinery's counters across workers.
+func (t *Trainer) GraphStats() GraphCounters {
+	var c GraphCounters
 	if t.gs == nil {
-		return 0, 0, 0
+		return c
 	}
 	for w := range t.gs.graphs {
-		captures += t.gs.captures[w]
-		replays += t.gs.replays[w]
-		invalidations += t.gs.invalidations[w]
+		c.Captures += t.gs.captures[w]
+		c.Replays += t.gs.replays[w]
+		c.Invalidations += t.gs.invalidations[w]
+		c.Fallbacks += t.gs.fallbacks[w]
+		c.Scheduled += t.gs.scheduled[w]
 	}
-	return captures, replays, invalidations
+	return c
+}
+
+// globalGraph mirrors every trainer's counters process-wide, so harnesses
+// can report step-graph totals without holding the trainers themselves
+// alive (counters are bumped per iteration at most; atomic because workers
+// increment concurrently under sim.RunParallel).
+var globalGraph struct {
+	captures, replays, invalidations, fallbacks, scheduled atomic.Int64
+}
+
+// GlobalGraphCounters returns the process-wide step-graph totals across
+// every trainer since process start.
+func GlobalGraphCounters() GraphCounters {
+	return GraphCounters{
+		Captures:      globalGraph.captures.Load(),
+		Replays:       globalGraph.replays.Load(),
+		Invalidations: globalGraph.invalidations.Load(),
+		Fallbacks:     globalGraph.fallbacks.Load(),
+		Scheduled:     globalGraph.scheduled.Load(),
+	}
 }
 
 func (t *Trainer) ensureGraphState() {
@@ -99,12 +142,21 @@ func (t *Trainer) ensureGraphState() {
 	gs := &graphState{
 		graphs:        make([]map[*gnn.Batch]*stepGraph, nw),
 		fallback:      make([]bool, nw),
+		schedOpen:     make([]bool, nw),
 		captures:      make([]int64, nw),
 		replays:       make([]int64, nw),
 		invalidations: make([]int64, nw),
+		fallbacks:     make([]int64, nw),
+		scheduled:     make([]int64, nw),
 	}
 	for w := range gs.graphs {
 		gs.graphs[w] = make(map[*gnn.Batch]*stepGraph, maxGraphsPerWorker)
+	}
+	if t.Opts.Schedule {
+		gs.sch = make([]*sched.Recorder, nw)
+		for w := range gs.sch {
+			gs.sch[w] = sched.NewRecorder()
+		}
 	}
 	t.gs = gs
 }
@@ -156,15 +208,19 @@ func (t *Trainer) graphStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch,
 	if g, ok := gs.graphs[w][b]; ok {
 		if g.matches(b) {
 			gs.replays[w]++
+			globalGraph.replays.Add(1)
 			return t.replayStep(w, mdl, dev, b, g, overlap)
 		}
 		// Structure moved under the same batch object: drop and re-capture.
 		delete(gs.graphs[w], b)
 		gs.invalidations[w]++
+		globalGraph.invalidations.Add(1)
 	}
 	if len(gs.graphs[w]) >= maxGraphsPerWorker {
 		// The loader is not reusing batch objects; capture cannot amortize.
 		gs.fallback[w] = true
+		gs.fallbacks[w]++
+		globalGraph.fallbacks.Add(1)
 		return t.eagerStep(w, mdl, dev, b, overlap)
 	}
 	return t.captureStep(w, mdl, dev, b, overlap)
@@ -202,14 +258,20 @@ func (t *Trainer) captureStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batc
 		blocks:    append([]*spops.SubCSR(nil), b.Blocks...),
 	}
 	t.gs.captures[w]++
+	globalGraph.captures.Add(1)
 	return res
 }
 
 // replayStep re-executes a captured step: rebind the parameters to the
 // capture tape, replay forward inside a graph-launch bracket, recompute
 // loss/accuracy live (the loss layer is outside the graph, as its output
-// feeds the host), and replay backward over the frozen tape.
+// feeds the host), and replay backward over the frozen tape. With
+// Options.Schedule the replay routes through the whole-step scheduler
+// instead.
 func (t *Trainer) replayStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, g *stepGraph, overlap bool) stepResult {
+	if t.Opts.Schedule {
+		return t.scheduledStep(w, mdl, dev, b, g, overlap)
+	}
 	mdl.Params().RebindVars(g.paramVars)
 	dev.BeginGraphReplay("step-graph")
 	g.tape.ReplayForward()
@@ -225,5 +287,59 @@ func (t *Trainer) replayStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch
 		g.tape.ReplayBackward(g.logits, g.grad, nil, nil)
 	}
 	dev.EndGraphReplay()
+	return res
+}
+
+// scheduledStep is replayStep through the whole-step scheduler
+// (Options.Schedule, DESIGN.md §13). The replay runs with a sched.Recorder
+// attached to the device, so every charge routes to a DAG node instead of
+// advancing the clocks, and the tape reports node boundaries and tensor
+// reads/writes through the replay observer. Host math still runs in the
+// captured order — losses, gradients and model state are bit-identical to
+// eager and to plain replay — then the recorded DAG is list-scheduled onto
+// the compute and copy streams and its charges applied at their scheduled
+// positions. Under OverlapGrads the per-bucket AllReduce gates come from the
+// scheduled end times of the bucket's gradient-producing nodes (the eager
+// path's clock-read hooks are meaningless while charges are being
+// recorded). The graph bracket opened here stays open across loss, gradient
+// sync and the optimizer; RunEpoch closes it after the optimizer step so
+// the whole training step replays as one graph launch.
+func (t *Trainer) scheduledStep(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, g *stepGraph, overlap bool) stepResult {
+	rec := t.gs.sch[w]
+	rec.Reset()
+	mdl.Params().RebindVars(g.paramVars)
+	dev.AttachRecorder(rec)
+	dev.BeginGraphReplay("step-graph")
+	g.tape.SetReplayObserver(rec)
+	g.tape.ReplayForward()
+	rec.LossNode(g.logits)
+	g.grad.Resize(g.logits.Value.R, g.logits.Value.C)
+	res := stepResult{
+		loss: tensor.CrossEntropy(g.logits.Value, b.Labels, g.grad),
+		acc:  tensor.Accuracy(g.logits.Value, b.Labels),
+	}
+	g.tape.ReplayBackward(g.logits, g.grad, nil, nil)
+	g.tape.SetReplayObserver(nil)
+	dev.DetachRecorder()
+	makespan := rec.Schedule(dev.StreamNow(sim.StreamCompute), dev.StreamNow(sim.StreamCopy))
+	rec.Apply(dev)
+	if overlap {
+		// Bucket b is ready when its last gradient-producing node finishes in
+		// the schedule; the watch machinery is bypassed (nil watch above).
+		t.resetOverlapWatch(w, g.paramVars)
+		s := t.ov
+		for bkt := range s.buckets {
+			mr := 0.0
+			for _, pi := range s.buckets[bkt] {
+				if rt := rec.GradReadyTime(g.paramVars[pi], makespan); rt > mr {
+					mr = rt
+				}
+			}
+			s.readyAt[w][bkt] = mr
+		}
+	}
+	t.gs.scheduled[w]++
+	globalGraph.scheduled.Add(1)
+	t.gs.schedOpen[w] = true
 	return res
 }

@@ -72,12 +72,12 @@ func TestCaptureGraphBitIdentical(t *testing.T) {
 			eStats, eParams, _, _ := graphRun(t, eager, 1, 3)
 			gStats, gParams, gtr, _ := graphRun(t, graph, 1, 3)
 			compareRuns(t, arch, eStats, gStats, eParams, gParams)
-			captures, replays, _ := gtr.GraphStats()
-			if captures == 0 || replays == 0 {
-				t.Errorf("%s: expected captures and replays, got %d/%d", arch, captures, replays)
+			gc := gtr.GraphStats()
+			if gc.Captures == 0 || gc.Replays == 0 {
+				t.Errorf("%s: expected captures and replays, got %d/%d", arch, gc.Captures, gc.Replays)
 			}
-			if captures > maxGraphsPerWorker {
-				t.Errorf("%s: %d captures for a 2-slot loader", arch, captures)
+			if gc.Captures > maxGraphsPerWorker {
+				t.Errorf("%s: %d captures for a 2-slot loader", arch, gc.Captures)
 			}
 		})
 	}
@@ -100,7 +100,7 @@ func TestCaptureGraphReducesEpochTime(t *testing.T) {
 		t.Errorf("replay epoch %.6gs not faster than eager %.6gs",
 			gStats[last].EpochTime, eStats[last].EpochTime)
 	}
-	if _, replays, _ := gtr.GraphStats(); replays == 0 {
+	if gc := gtr.GraphStats(); gc.Replays == 0 {
 		t.Fatal("no replays happened; time comparison is meaningless")
 	}
 	if gStats[last].Loss != eStats[last].Loss {
@@ -123,7 +123,7 @@ func TestCaptureGraphComposes(t *testing.T) {
 	pStats, pParams, _, _ := graphRun(t, plain, 1, 3)
 	aStats, aParams, atr, _ := graphRun(t, all, 1, 3)
 	compareRuns(t, "pipeline+overlap+graph", pStats, aStats, pParams, aParams)
-	if _, replays, _ := atr.GraphStats(); replays == 0 {
+	if gc := atr.GraphStats(); gc.Replays == 0 {
 		t.Error("composed run never replayed")
 	}
 }
@@ -188,11 +188,11 @@ func TestCaptureGraphInvalidatesOnStructureChange(t *testing.T) {
 		break
 	}
 	losses = append(losses, tr.RunEpoch().Loss, tr.RunEpoch().Loss)
-	captures, replays, invalidations := tr.GraphStats()
-	if invalidations == 0 {
-		t.Fatalf("structure change not invalidated (captures=%d replays=%d)", captures, replays)
+	gc := tr.GraphStats()
+	if gc.Invalidations == 0 {
+		t.Fatalf("structure change not invalidated (captures=%d replays=%d)", gc.Captures, gc.Replays)
 	}
-	if replays == 0 {
+	if gc.Replays == 0 {
 		t.Error("no replays after re-capture")
 	}
 
@@ -230,8 +230,8 @@ func TestCaptureGraphFallsBackOnChurningBatches(t *testing.T) {
 	if !tr.gs.fallback[0] {
 		t.Fatal("worker did not fall back to eager execution")
 	}
-	if captures, replays, _ := tr.GraphStats(); captures != 0 || replays != 0 {
-		t.Errorf("fallback worker still captured/replayed: %d/%d", captures, replays)
+	if gc := tr.GraphStats(); gc.Captures != 0 || gc.Replays != 0 || gc.Fallbacks == 0 {
+		t.Errorf("fallback worker counters off: %+v", gc)
 	}
 
 	eager := opts

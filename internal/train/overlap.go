@@ -2,6 +2,7 @@ package train
 
 import (
 	"wholegraph/internal/autograd"
+	"wholegraph/internal/sched"
 	"wholegraph/internal/sim"
 )
 
@@ -127,32 +128,18 @@ func (t *Trainer) overlapGradSync() {
 		}
 		s.maxReady[b] = mr
 	}
-	// Issue buckets in readiness order (ties by index), the order DDP's
-	// reducer flushes them; insertion sort keeps this allocation-free.
-	order := s.order[:0]
-	for b := range s.buckets {
-		order = append(order, b)
-	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && s.maxReady[order[j]] < s.maxReady[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
-	s.order = order
+	// Issue order and per-device gates are scheduler decisions
+	// (internal/sched): buckets flush in fleet readiness order, each device
+	// joining at its own backward readiness.
+	s.order = sched.BucketOrder(s.maxReady, s.order)
 	clear(s.lastDone)
-	for _, b := range order {
+	for _, b := range s.order {
 		if len(t.Models) > 1 {
 			for _, pi := range s.buckets[b] {
 				t.averageParam(pi)
 			}
 		}
-		for i := range m.Devs {
-			if w := s.devWorker[i]; w >= 0 {
-				s.startAt[i] = s.readyAt[w][b]
-			} else {
-				s.startAt[i] = s.maxReady[b]
-			}
-		}
+		sched.GateStarts(s.devWorker, s.readyAt, b, s.maxReady[b], s.startAt)
 		c := sim.StartHierarchicalAllReduce(m, s.bucketBytes[b], sim.CollOpts{
 			Stream: sim.StreamCopy, StartAt: s.startAt, Tag: "allreduce.grads",
 		})

@@ -1,0 +1,197 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"wholegraph/internal/dataset"
+	"wholegraph/internal/sim"
+)
+
+// TestScheduleBitIdentical is the correctness anchor of the whole-step
+// scheduler: for every architecture, training with Options.Schedule must
+// produce bit-identical losses, accuracies and final parameters to eager
+// execution — the scheduler only re-places virtual-time charges, never the
+// host math — while scheduled replays actually happen.
+func TestScheduleBitIdentical(t *testing.T) {
+	for _, arch := range []string{"gcn", "graphsage", "gat", "gin"} {
+		t.Run(arch, func(t *testing.T) {
+			opts := smallOpts(arch)
+			opts.Batch = 8
+			eager := opts
+			scheduled := opts
+			scheduled.Schedule = true
+			eStats, eParams, _, _ := graphRun(t, eager, 1, 3)
+			sStats, sParams, str, _ := graphRun(t, scheduled, 1, 3)
+			compareRuns(t, arch, eStats, sStats, eParams, sParams)
+			if gc := str.GraphStats(); gc.Scheduled == 0 {
+				t.Errorf("%s: no scheduled replays happened", arch)
+			}
+		})
+	}
+}
+
+// TestScheduleNeverSlowerThanCapture pins the performance guarantee: a
+// scheduled epoch in replay steady state is never slower than the same
+// epoch under plain CaptureGraph (the scheduler falls back to the serial
+// order when list scheduling finds no win), and on this bandwidth-bound
+// configuration it is strictly faster.
+func TestScheduleNeverSlowerThanCapture(t *testing.T) {
+	opts := smallOpts("graphsage")
+	opts.Batch = 8
+	captured := opts
+	captured.CaptureGraph = true
+	scheduled := opts
+	scheduled.Schedule = true
+	cStats, _, _, _ := graphRun(t, captured, 1, 4)
+	sStats, _, str, _ := graphRun(t, scheduled, 1, 4)
+	last := len(sStats) - 1
+	if sStats[last].EpochTime > cStats[last].EpochTime {
+		t.Errorf("scheduled epoch %.6gs slower than captured %.6gs",
+			sStats[last].EpochTime, cStats[last].EpochTime)
+	}
+	if sStats[last].EpochTime >= cStats[last].EpochTime {
+		t.Errorf("scheduled epoch %.6gs not strictly faster than captured %.6gs",
+			sStats[last].EpochTime, cStats[last].EpochTime)
+	}
+	if gc := str.GraphStats(); gc.Scheduled == 0 {
+		t.Fatal("no scheduled replays; time comparison is meaningless")
+	}
+	if sStats[last].Loss != cStats[last].Loss {
+		t.Errorf("loss drifted: scheduled %v captured %v", sStats[last].Loss, cStats[last].Loss)
+	}
+}
+
+// TestScheduleComposes runs the scheduler together with the prefetch
+// pipeline and bucketed gradient overlap across two real workers: all
+// overlays on, results still bit-identical to the plain eager path.
+func TestScheduleComposes(t *testing.T) {
+	opts := smallOpts("graphsage")
+	opts.Batch = 8
+	opts.RealWorkers = 2
+	plain := opts
+	all := opts
+	all.Schedule = true
+	all.Pipeline = true
+	all.OverlapGrads = true
+	pStats, pParams, _, _ := graphRun(t, plain, 1, 3)
+	aStats, aParams, atr, _ := graphRun(t, all, 1, 3)
+	compareRuns(t, "pipeline+overlap+schedule", pStats, aStats, pParams, aParams)
+	if gc := atr.GraphStats(); gc.Scheduled == 0 {
+		t.Error("composed run never scheduled a replay")
+	}
+}
+
+// TestScheduleSerialParallelEquivalence checks the scheduled-replay path
+// under real worker goroutines (the -race gate): stats and device clocks
+// must match the serial reference bit-for-bit — each worker's recorder is
+// goroutine-owned like its device and tape.
+func TestScheduleSerialParallelEquivalence(t *testing.T) {
+	run := func(parallel bool) ([]EpochStats, []float64) {
+		prev := sim.SetParallel(parallel)
+		defer sim.SetParallel(prev)
+		opts := smallOpts("gcn")
+		opts.Batch = 8
+		opts.RealWorkers = 3
+		opts.Schedule = true
+		opts.OverlapGrads = true
+		stats, _, _, m := graphRun(t, opts, 1, 3)
+		var clocks []float64
+		for _, d := range m.Devs {
+			clocks = append(clocks, d.Span())
+		}
+		return stats, clocks
+	}
+
+	prevProcs := runtime.GOMAXPROCS(1)
+	serialStats, serialClocks := run(false)
+	runtime.GOMAXPROCS(prevProcs)
+	parStats, parClocks := run(true)
+
+	for e := range serialStats {
+		if serialStats[e] != parStats[e] {
+			t.Errorf("epoch %d stats differ:\n serial   %+v\n parallel %+v", e+1, serialStats[e], parStats[e])
+		}
+	}
+	for i := range serialClocks {
+		if serialClocks[i] != parClocks[i] {
+			t.Errorf("clock %d: serial %v vs parallel %v", i, serialClocks[i], parClocks[i])
+		}
+	}
+}
+
+// TestScheduleTraceAnnotations checks the Chrome-trace surface: a traced
+// scheduled run emits busy intervals tagged with their DAG node IDs and
+// scheduler-decision spans on the decision lane, and every decision span
+// brackets its node's applied charges.
+func TestScheduleTraceAnnotations(t *testing.T) {
+	opts := smallOpts("graphsage")
+	opts.Batch = 8
+	opts.Schedule = true
+	opts.Trace = true
+	m := sim.NewMachine(sim.DGXA100(1))
+	tr, err := New(m, smallDataset(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunEpoch()
+	tr.RunEpoch() // replay steady state: scheduler-placed intervals exist
+	var tagged, decisions int
+	for _, iv := range tr.Worker0Device().Trace() {
+		if iv.Decision {
+			decisions++
+			if iv.Node <= 0 {
+				t.Fatalf("decision interval %q without a node ID", iv.Tag)
+			}
+			if iv.End < iv.Start {
+				t.Fatalf("decision interval %q ends before it starts", iv.Tag)
+			}
+			continue
+		}
+		if iv.Node > 0 {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Error("no busy intervals carry scheduler node IDs")
+	}
+	if decisions == 0 {
+		t.Error("no scheduler-decision intervals recorded")
+	}
+}
+
+// TestPipelinePagePrefetchBitIdentical enables Options.PrefetchPages under
+// Options.Pipeline (the scheduler's pipeline plan orders the ring prefetch,
+// the page prefetch one batch further ahead, and the compute): batch
+// contents, losses and model state stay bit-identical to the plain
+// pipelined paged run, and the prefetched pages actually land as hits.
+func TestPipelinePagePrefetchBitIdentical(t *testing.T) {
+	// A dataset larger than the 1 MiB caches, so pages churn and the
+	// prefetched entries are genuinely new residency.
+	ds, err := dataset.Generate(dataset.OgbnProducts.Scaled(0.004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged := smallOpts("graphsage")
+	paged.Pipeline = true
+	paged.PagedTopo = true
+	paged.TopoPageEdges = 256
+	paged.TopoCacheMB = 1
+	paged.PagedFeatures = true
+	paged.FeatPageRows = 64
+	paged.FeatCacheMB = 1
+	base, _ := runEpochsOn(t, ds, paged, 2)
+
+	pre := paged
+	pre.PrefetchPages = 16
+	got, tr := runEpochsOn(t, ds, pre, 2)
+	for e := range base {
+		if got[e].Loss != base[e].Loss || got[e].TrainAcc != base[e].TrainAcc {
+			t.Errorf("epoch %d: pipelined page prefetch changed results (loss %v != %v)",
+				e, got[e].Loss, base[e].Loss)
+		}
+	}
+	if tr.TopoStoreStats().PrefetchHits+tr.FeatStoreStats().PrefetchHits == 0 {
+		t.Error("pipelined page-prefetch run recorded no prefetch hits")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"wholegraph/internal/featstore"
 	"wholegraph/internal/gnn"
 	"wholegraph/internal/nn"
+	"wholegraph/internal/sched"
 	"wholegraph/internal/sim"
 	"wholegraph/internal/spops"
 	"wholegraph/internal/tensor"
@@ -87,6 +88,19 @@ type Options struct {
 	// with re-capture. Losses, gradients and model state are bit-identical
 	// to eager execution. Composes with Pipeline and OverlapGrads.
 	CaptureGraph bool
+	// Schedule routes each captured step's replay through the whole-step
+	// scheduler (internal/sched, DESIGN.md §13): the replay's device charges
+	// are recorded into a dependency DAG recovered from the tape's tensor
+	// producers and consumers, then list-scheduled onto the compute and copy
+	// streams so independent kernels — a Linear's dX and dW backward GEMMs,
+	// sibling attention heads — run concurrently. The graph bracket extends
+	// over loss and optimizer, so the whole step replays as one launch. Host
+	// math still runs in the captured order: losses, gradients and model
+	// state are bit-identical to eager execution; a scheduled step is never
+	// slower than a plain captured one (the scheduler falls back to the
+	// serial order when list scheduling finds no win). Implies CaptureGraph;
+	// composes with Pipeline and OverlapGrads.
+	Schedule bool
 	// BucketBytes is the gradient-bucket coalescing threshold in bytes for
 	// OverlapGrads (DDP bucket_cap_mb-style): consecutive parameters are
 	// packed into one bucket until it holds at least this many gradient
@@ -122,12 +136,13 @@ type Options struct {
 	// (0 = 256).
 	TopoCacheMB int
 	// PrefetchPages, when positive, has each worker predict the paged
-	// pages (topology and features) its next batch will touch and fault up
-	// to that many of each on the copy stream ahead of compute. Prediction
-	// reads only host-visible metadata; batch contents, losses and model
-	// state are bit-identical — hit rates and virtual time are the only
-	// effect. Ignored under Options.Pipeline, whose full-batch copy-stream
-	// prefetch subsumes it.
+	// pages (topology and features) an upcoming batch will touch and fault
+	// up to that many of each on the copy stream ahead of compute.
+	// Prediction reads only host-visible metadata; batch contents, losses
+	// and model state are bit-identical — hit rates and virtual time are
+	// the only effect. Under Options.Pipeline the prediction targets the
+	// batch one past the in-flight prefetch (whose full build already
+	// faults its own pages); sequentially it targets the next batch.
 	PrefetchPages int
 	// CachePolicy selects the BlockCache replacement policy for both paged
 	// stores: "lru" (default) or "admit" (TinyLFU-style frequency sketch
@@ -159,6 +174,9 @@ func (o Options) Normalize() Options {
 	}
 	if o.RealWorkers == 0 {
 		o.RealWorkers = 1
+	}
+	if o.Schedule {
+		o.CaptureGraph = true
 	}
 	return o
 }
@@ -241,6 +259,9 @@ type Trainer struct {
 	// gs is the step-graph capture state (Options.CaptureGraph), built
 	// lazily by ensureGraphState.
 	gs *graphState
+	// plans is per-worker scratch for the pipelined loop's scheduler-issued
+	// action sequence (sched.PipelinePlan).
+	plans [][]sched.PlanStep
 }
 
 // New builds a WholeGraph trainer: it partitions the store onto every node
@@ -491,6 +512,9 @@ func (t *Trainer) RunEpoch() EpochStats {
 		measured = t.Opts.MaxItersPerEpoch
 	}
 	pipelined := t.Pipelined()
+	if pipelined && t.plans == nil {
+		t.plans = make([][]sched.PlanStep, len(t.Models))
+	}
 	overlap := t.Opts.OverlapGrads
 	if overlap {
 		t.ensureOverlap()
@@ -525,19 +549,32 @@ func (t *Trainer) RunEpoch() EpochStats {
 			mdl := t.Models[w]
 			dev := t.loaders[w].Device()
 			iterDevStart[w] = dev.Now()
-			var b *gnn.Batch
-			var tm core.Timing
 			if pipelined {
+				// The iteration's issue order — prime, collect, re-arm the
+				// ring, optionally page-prefetch further ahead, compute — is a
+				// scheduler decision (sched.PipelinePlan).
 				pl := t.loaders[w].(PrefetchingLoader)
-				if it == 0 {
-					pl.Prefetch(batches[w][0])
+				pp, hasPP := t.loaders[w].(PagePrefetcher)
+				pagePf := t.Opts.PrefetchPages > 0 && hasPP
+				t.plans[w] = sched.PipelinePlan(t.plans[w], it, measured, pagePf)
+				var b *gnn.Batch
+				for _, step := range t.plans[w] {
+					targets := batches[w][step.Batch%len(batches[w])]
+					switch step.Op {
+					case sched.OpPrime, sched.OpPrefetch:
+						pl.Prefetch(targets)
+					case sched.OpCollect:
+						b, timings[w] = pl.Collect()
+					case sched.OpPrefetchPages:
+						pp.PrefetchPages(targets, t.Opts.PrefetchPages)
+					case sched.OpCompute:
+						trainStart[w] = dev.Now()
+						results[w] = t.trainOn(w, mdl, dev, b, overlap, captureGraph)
+					}
 				}
-				b, tm = pl.Collect()
-				if next := it + 1; next < measured {
-					pl.Prefetch(batches[w][next%len(batches[w])])
-				}
+				pl.Release()
 			} else {
-				b, tm = t.loaders[w].BuildBatch(batches[w][it%len(batches[w])])
+				b, tm := t.loaders[w].BuildBatch(batches[w][it%len(batches[w])])
 				// Fault prefetch: predict the pages the NEXT batch will
 				// touch and migrate them on the copy stream while this
 				// iteration's forward/backward runs on compute.
@@ -548,16 +585,9 @@ func (t *Trainer) RunEpoch() EpochStats {
 						}
 					}
 				}
-			}
-			timings[w] = tm
-			trainStart[w] = dev.Now()
-			if captureGraph && !t.gs.fallback[w] {
-				results[w] = t.graphStep(w, mdl, dev, b, overlap)
-			} else {
-				results[w] = t.eagerStep(w, mdl, dev, b, overlap)
-			}
-			if pipelined {
-				t.loaders[w].(PrefetchingLoader).Release()
+				timings[w] = tm
+				trainStart[w] = dev.Now()
+				results[w] = t.trainOn(w, mdl, dev, b, overlap, captureGraph)
 			}
 		})
 		for w := range results {
@@ -600,6 +630,13 @@ func (t *Trainer) RunEpoch() EpochStats {
 				nn.ClipGradNorm(mdl.Params(), t.Opts.ClipNorm)
 			}
 			t.Opts4[w].Step(dev, mdl.Params())
+			if captureGraph && t.gs.schedOpen[w] {
+				// Close the scheduled step's graph bracket: loss, gradient
+				// sync and the optimizer all replayed inside it, so the whole
+				// step cost one graph launch.
+				dev.EndGraphReplay()
+				t.gs.schedOpen[w] = false
+			}
 			timings[w].Train += dev.Now() - trainStart[w]
 			// Compute-stream span of the whole iteration: with a sequential
 			// loader this equals Sample+Gather+Train; pipelined it is
@@ -624,6 +661,16 @@ func (t *Trainer) RunEpoch() EpochStats {
 	stats.Timing.Train *= scale
 	stats.Timing.Crit *= scale
 	return stats
+}
+
+// trainOn runs the forward/backward step for one worker's batch,
+// dispatching to the capture/replay machinery when enabled. Runs inside the
+// parallel region.
+func (t *Trainer) trainOn(w int, mdl gnn.Model, dev *sim.Device, b *gnn.Batch, overlap, captureGraph bool) stepResult {
+	if captureGraph && !t.gs.fallback[w] {
+		return t.graphStep(w, mdl, dev, b, overlap)
+	}
+	return t.eagerStep(w, mdl, dev, b, overlap)
 }
 
 func (t *Trainer) isRealWorker(dev *sim.Device) bool {

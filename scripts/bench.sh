@@ -36,11 +36,16 @@
 #     the recall@10 vs per-query virtual latency curve over efSearch,
 #     index build virtual time, the HNSW-vs-brute-force speedup, and the
 #     end-to-end retrieval serving row (recall next to p50/p99/SLO).
+#   BENCH_sched.json — the whole-step scheduler ablation (wgbench -exp
+#     abl-sched): plain capture/replay vs DAG list scheduling of the same
+#     captured step across arch x nodes x gradient-overlap cells — virtual
+#     epoch times, speedup, scheduled-replay counts, loss bit-identity,
+#     plus the aggregate step-graph counters.
 #
 # Run before and after a perf PR and compare (benchstat on the raw output
 # works too; it is kept alongside each JSON).
 #
-# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json [oocgraph.json [ann.json]]]]]]]]
+# Usage: scripts/bench.sh [hotpaths.json [pipeline.json [serving.json [comms.json [graph.json [featstore.json [oocgraph.json [ann.json [sched.json]]]]]]]]]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,6 +57,7 @@ GRAPH_OUT="${5:-BENCH_graph.json}"
 FEAT_OUT="${6:-BENCH_featstore.json}"
 OOC_OUT="${7:-BENCH_oocgraph.json}"
 ANN_OUT="${8:-BENCH_ann.json}"
+SCHED_OUT="${9:-BENCH_sched.json}"
 PATTERN='BenchmarkEndToEndEpoch$|BenchmarkFig10Gather|BenchmarkSpMMNative|BenchmarkSpMMPyGStyle|BenchmarkAppendUnique$|BenchmarkAppendUniqueSort|BenchmarkAlg1Sampling'
 PIPE_PATTERN='BenchmarkPipelineEpochSequential|BenchmarkPipelineEpochOverlapped'
 
@@ -135,3 +141,6 @@ echo "wrote $OOC_OUT"
 
 go run ./cmd/wgbench -exp abl-ann -json "$ANN_OUT"
 echo "wrote $ANN_OUT"
+
+go run ./cmd/wgbench -exp abl-sched -json "$SCHED_OUT"
+echo "wrote $SCHED_OUT"
